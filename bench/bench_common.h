@@ -1,0 +1,94 @@
+// Shared helpers for the per-table/figure bench binaries.
+//
+// Scale control: LogHub-2.0 datasets are millions of logs; by default the
+// benches run each dataset scaled down to BB_BENCH_MAX_LOGS (default
+// 20000) so the whole suite finishes in minutes. Set BB_BENCH_MAX_LOGS
+// higher (or BB_BENCH_FULL=1 for the unscaled Table-1 sizes) to
+// reproduce at larger scale.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/generator.h"
+#include "eval/bytebrain_adapter.h"
+#include "eval/runner.h"
+
+namespace bytebrain {
+
+inline size_t BenchMaxLogs() {
+  if (const char* full = std::getenv("BB_BENCH_FULL");
+      full != nullptr && full[0] == '1') {
+    return SIZE_MAX;
+  }
+  if (const char* v = std::getenv("BB_BENCH_MAX_LOGS"); v != nullptr) {
+    const long long n = std::atoll(v);
+    if (n > 0) return static_cast<size_t>(n);
+  }
+  return 20000;
+}
+
+/// LogHub-2.0 dataset scaled to at most BenchMaxLogs() records.
+inline Dataset ScaledLogHub2(const DatasetSpec& spec) {
+  DatasetGenerator generator(spec);
+  const size_t cap = BenchMaxLogs();
+  const double scale =
+      spec.loghub2_logs <= cap
+          ? 1.0
+          : static_cast<double>(cap) / static_cast<double>(spec.loghub2_logs);
+  return generator.GenerateLogHub2(scale);
+}
+
+/// Ground-truth labels of a dataset (for the oracle hints).
+inline std::vector<uint32_t> LabelsOf(const Dataset& ds) {
+  std::vector<uint32_t> gt;
+  gt.reserve(ds.logs.size());
+  for (const auto& l : ds.logs) gt.push_back(l.gt_template);
+  return gt;
+}
+
+/// Cost-based skip policy mirroring the paper's "failed to finish"
+/// entries: super-linear baselines are skipped on workloads where their
+/// projected cost explodes. Returns false when the run should be skipped.
+inline bool Affordable(const std::string& parser_name, size_t num_logs,
+                       size_t num_templates) {
+  if (parser_name == "LogSig") {
+    // Local search is O(logs x categories x token-pairs x iterations);
+    // beyond this budget the paper reports LogSig failing to finish.
+    return num_logs * num_templates <= 600ull * 1000;
+  }
+  if (parser_name == "LenMa") {
+    return num_logs * num_templates <= 60ull * 1000 * 1000;
+  }
+  if (parser_name == "LogMine") return num_logs <= 300000;
+  if (parser_name == "MoLFI") return num_logs <= 500000;
+  if (parser_name == "SHISO") return num_logs <= 500000;
+  return true;
+}
+
+/// Bounded prefix of a dataset. The semantic/LLM stand-ins have constant
+/// per-log cost by construction, so running them on a prefix leaves
+/// their throughput and accuracy estimates unchanged while keeping the
+/// bench wall time bounded.
+inline Dataset DatasetPrefix(const Dataset& ds, size_t cap = 4000) {
+  Dataset out;
+  out.name = ds.name;
+  out.num_templates = ds.num_templates;
+  const size_t n = std::min(cap, ds.logs.size());
+  out.logs.assign(ds.logs.begin(), ds.logs.begin() + n);
+  return out;
+}
+
+inline void PrintBenchHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("scale: max %zu logs per LogHub-2.0 dataset "
+              "(BB_BENCH_MAX_LOGS to change)\n",
+              BenchMaxLogs());
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,44 @@
+// Fig. 10: the token->id dictionary an ordinal encoder would have to
+// persist, per dataset, as a function of log volume — the storage that
+// hash encoding eliminates entirely.
+#include "bench/bench_common.h"
+#include "core/preprocess.h"
+#include "util/string_util.h"
+
+using namespace bytebrain;
+
+int main() {
+  PrintBenchHeader("Fig. 10 — ordinal-encoding dictionary size vs log size",
+                   "paper Fig. 10");
+
+  TablePrinter table({"Dataset", "LogBytes", "DictBytes(ordinal)",
+                      "DictBytes(hash)", "Dict/Log ratio"},
+                     {13, 14, 20, 17, 15});
+  table.PrintHeader();
+
+  for (const DatasetSpec& spec : LogHub2Specs()) {
+    Dataset ds = ScaledLogHub2(spec);
+    std::vector<std::string> logs;
+    logs.reserve(ds.logs.size());
+    for (auto& l : ds.logs) logs.push_back(l.text);
+
+    PreprocessOptions opts;
+    opts.encoder = EncoderKind::kOrdinal;
+    opts.num_threads = 2;
+    auto replacer = VariableReplacer::Default();
+    auto result = Preprocess(logs, replacer, opts);
+
+    const uint64_t log_bytes = ds.TextBytes();
+    table.PrintRow({spec.name, FormatBytes(log_bytes),
+                    FormatBytes(result.dictionary_bytes), "0 B",
+                    TablePrinter::Fmt(static_cast<double>(result.dictionary_bytes) /
+                                          static_cast<double>(log_bytes),
+                                      4)});
+  }
+  std::printf(
+      "\nShape check (paper Fig. 10): dictionary size grows with log\n"
+      "volume into the 10^5-10^8 byte range at full scale; hash encoding\n"
+      "stores nothing. (At the bench's reduced scale the ratio column is\n"
+      "the scale-free signal.)\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 7: ByteBrain running time vs number of logs — the paper shows a
+// near-linear relationship. We sweep each dataset across sizes and print
+// the per-log cost; linearity means the cost stays roughly flat.
+#include "bench/bench_common.h"
+#include "util/timer.h"
+
+using namespace bytebrain;
+
+int main() {
+  PrintBenchHeader("Fig. 7 — running time scales linearly with log count",
+                   "paper Fig. 7");
+
+  TablePrinter table({"Dataset", "#Logs", "Seconds", "us/log", "ratio"},
+                     {13, 10, 10, 10, 8});
+  table.PrintHeader();
+
+  for (const char* name : {"Apache", "OpenSSH", "BGL", "Spark"}) {
+    const DatasetSpec* spec = FindDatasetSpec(name);
+    DatasetGenerator generator(*spec);
+    double first_us_per_log = 0.0;
+    for (size_t num_logs : {5000, 10000, 20000, 40000, 80000}) {
+      GenOptions opts;
+      opts.num_logs = num_logs;
+      opts.num_templates = spec->loghub2_templates;
+      opts.seed_salt = 2;
+      Dataset ds = generator.Generate(opts);
+
+      ByteBrainAdapter adapter(ByteBrainDefaultConfig());
+      RunResult r = RunOn(&adapter, ds);
+      const double us_per_log = r.seconds * 1e6 / num_logs;
+      if (first_us_per_log == 0.0) first_us_per_log = us_per_log;
+      table.PrintRow({name, std::to_string(num_logs),
+                      TablePrinter::Fmt(r.seconds, 3),
+                      TablePrinter::Fmt(us_per_log, 2),
+                      TablePrinter::Fmt(us_per_log / first_us_per_log, 2)});
+    }
+  }
+  std::printf(
+      "\nShape check: 'ratio' (us/log normalized to the smallest size)\n"
+      "should stay O(1) — the paper's near-linear scaling. Sub-linear\n"
+      "ratios (<1) are expected when deduplication amortizes training.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig. 8: accuracy ablations — naive match, w/o variable-in-saturation,
+// w/o position importance, w/o confidence factor, random centroid
+// selection — on LogHub and (scaled) LogHub-2.0.
+#include <functional>
+
+#include "bench/bench_common.h"
+
+using namespace bytebrain;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  std::function<ByteBrainAdapterConfig()> make;
+};
+
+std::vector<Variant> Variants() {
+  return {
+      {"ByteBrain", [] { return ByteBrainDefaultConfig(); }},
+      {"w/ naive match",
+       [] {
+         auto c = ByteBrainDefaultConfig();
+         c.options.naive_match = true;
+         return c;
+       }},
+      {"w/o variable in saturation",
+       [] {
+         auto c = ByteBrainDefaultConfig();
+         c.options.trainer.cluster.saturation.use_variable_term = false;
+         return c;
+       }},
+      {"w/o position importance",
+       [] {
+         auto c = ByteBrainDefaultConfig();
+         c.options.trainer.cluster.use_position_importance = false;
+         return c;
+       }},
+      {"w/o confidence factor",
+       [] {
+         auto c = ByteBrainDefaultConfig();
+         c.options.trainer.cluster.saturation.use_confidence_factor = false;
+         return c;
+       }},
+      {"random centroid selection",
+       [] {
+         auto c = ByteBrainDefaultConfig();
+         c.options.trainer.cluster.kmeanspp_seeding = false;
+         return c;
+       }},
+  };
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Fig. 8 — accuracy ablation", "paper Fig. 8");
+
+  TablePrinter table(
+      {"Variant", "LogHub avg GA", "LogHub-2.0 avg GA"}, {30, 16, 18});
+  table.PrintHeader();
+
+  for (const Variant& variant : Variants()) {
+    double loghub_sum = 0.0;
+    int loghub_n = 0;
+    for (const DatasetSpec& spec : AllDatasetSpecs()) {
+      DatasetGenerator generator(spec);
+      Dataset ds = generator.GenerateLogHub();
+      ByteBrainAdapter adapter(variant.make());
+      loghub_sum += RunOn(&adapter, ds).grouping_accuracy;
+      ++loghub_n;
+    }
+    double lh2_sum = 0.0;
+    int lh2_n = 0;
+    for (const DatasetSpec& spec : LogHub2Specs()) {
+      Dataset ds = ScaledLogHub2(spec);
+      ByteBrainAdapter adapter(variant.make());
+      lh2_sum += RunOn(&adapter, ds).grouping_accuracy;
+      ++lh2_n;
+    }
+    table.PrintRow({variant.name, TablePrinter::Fmt(loghub_sum / loghub_n),
+                    TablePrinter::Fmt(lh2_sum / lh2_n)});
+  }
+  std::printf(
+      "\nShape check (paper Fig. 8): 'w/ naive match' ~= ByteBrain (text\n"
+      "matching does not compromise accuracy); removing variable\n"
+      "saturation / position importance lowers accuracy; random centroid\n"
+      "selection hurts the most; confidence factor matters least.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Fig. 9: throughput ablations on the four largest datasets (BGL, HDFS,
+// Spark, Thunderbird): w/o early stopping, w/o ensure-saturation-
+// increase, w/o position importance, ordinal encoding, w/o balanced
+// group, w/o variable saturation, w/o deduplication & related, plus the
+// LILAC / UniParser reference points.
+#include <functional>
+
+#include "baselines/semantic_oracle.h"
+#include "bench/bench_common.h"
+
+using namespace bytebrain;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  std::function<ByteBrainAdapterConfig()> make;
+};
+
+std::vector<Variant> Variants() {
+  return {
+      {"ByteBrain", [] { return ByteBrainDefaultConfig(); }},
+      {"w/o early stopping",
+       [] {
+         auto c = ByteBrainDefaultConfig();
+         c.options.trainer.cluster.early_stop = false;
+         return c;
+       }},
+      {"w/o ensure saturation increase",
+       [] {
+         auto c = ByteBrainDefaultConfig();
+         c.options.trainer.cluster.ensure_saturation_increase = false;
+         return c;
+       }},
+      {"w/o position importance",
+       [] {
+         auto c = ByteBrainDefaultConfig();
+         c.options.trainer.cluster.use_position_importance = false;
+         return c;
+       }},
+      {"ordinal encoding",
+       [] {
+         auto c = ByteBrainDefaultConfig();
+         c.options.trainer.preprocess.encoder = EncoderKind::kOrdinal;
+         return c;
+       }},
+      {"w/o balanced group",
+       [] {
+         auto c = ByteBrainDefaultConfig();
+         c.options.trainer.cluster.balanced_grouping = false;
+         return c;
+       }},
+      {"w/o variable in saturation",
+       [] {
+         auto c = ByteBrainDefaultConfig();
+         c.options.trainer.cluster.saturation.use_variable_term = false;
+         return c;
+       }},
+      {"w/o dedup & related techs",
+       [] {
+         auto c = ByteBrainDefaultConfig();
+         c.options.trainer.preprocess.deduplicate = false;
+         c.options.trainer.cluster.balanced_grouping = false;
+         c.options.trainer.cluster.early_stop = false;
+         return c;
+       }},
+  };
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Fig. 9 — throughput ablation (large datasets)",
+                   "paper Fig. 9");
+
+  const char* panel[] = {"BGL", "HDFS", "Spark", "Thunderbird"};
+
+  std::vector<std::string> headers = {"Variant"};
+  std::vector<int> widths = {32};
+  for (const char* name : panel) {
+    headers.push_back(name);
+    widths.push_back(12);
+  }
+  TablePrinter table(headers, widths);
+  table.PrintHeader();
+
+  for (const Variant& variant : Variants()) {
+    std::vector<std::string> row = {variant.name};
+    for (const char* name : panel) {
+      Dataset ds = ScaledLogHub2(*FindDatasetSpec(name));
+      ByteBrainAdapter adapter(variant.make());
+      RunResult r = RunOn(&adapter, ds);
+      row.push_back(TablePrinter::Sci(r.Throughput()));
+    }
+    table.PrintRow(row);
+  }
+
+  // Semantic reference points, as in the paper's figure (run on a
+  // bounded prefix; their per-log cost is constant).
+  for (auto config : {LilacConfig(), UniParserConfig()}) {
+    std::vector<std::string> row = {config.display_name};
+    for (const char* name : panel) {
+      Dataset prefix = DatasetPrefix(ScaledLogHub2(*FindDatasetSpec(name)));
+      SemanticOracleParser oracle(config, LabelsOf(prefix));
+      RunResult r = RunOn(&oracle, prefix);
+      row.push_back(TablePrinter::Sci(r.Throughput()));
+    }
+    table.PrintRow(row);
+  }
+
+  std::printf(
+      "\nShape check (paper Fig. 9): 'w/o dedup & related techs' loses the\n"
+      "most throughput (orders of magnitude on duplicate-heavy datasets);\n"
+      "every variant still beats LILAC / UniParser.\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Component microbenchmarks (google-benchmark): the building blocks the
+// paper's efficiency techniques rest on — tokenization, hash encoding,
+// variable replacement (fast vs regex path), deduplication, positional
+// similarity, saturation, and online matching.
+#include <benchmark/benchmark.h>
+
+#include "core/cluster.h"
+#include "core/parser.h"
+#include "core/preprocess.h"
+#include "core/tokenizer.h"
+#include "datagen/generator.h"
+#include "regex/regex.h"
+
+namespace bytebrain {
+namespace {
+
+const std::vector<std::string>& SampleLogs() {
+  static const auto* logs = [] {
+    DatasetGenerator gen(*FindDatasetSpec("OpenSSH"));
+    GenOptions opts;
+    opts.num_logs = 4096;
+    opts.num_templates = 38;
+    auto* v = new std::vector<std::string>();
+    for (auto& l : gen.Generate(opts).logs) v->push_back(l.text);
+    return v;
+  }();
+  return *logs;
+}
+
+void BM_TokenizeDefault(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  for (auto _ : state) {
+    tokens.clear();
+    TokenizeDefaultInto(logs[i++ & 4095], &tokens);
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_TokenizeDefault);
+
+void BM_TokenizeRegexEngine(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  auto tokenizer = RegexTokenizer::Create(kDefaultTokenizerPattern);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto tokens = tokenizer->Tokenize(logs[i++ & 4095]);
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_TokenizeRegexEngine);
+
+void BM_HashToken(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashToken("PacketResponder"));
+  }
+}
+BENCHMARK(BM_HashToken);
+
+void BM_VariableReplaceFast(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  VariableReplacer replacer = VariableReplacer::Default();
+  std::string out;
+  size_t i = 0;
+  for (auto _ : state) {
+    replacer.ReplaceInto(logs[i++ & 4095], &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_VariableReplaceFast);
+
+void BM_VariableReplaceRegex(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  VariableReplacer replacer = VariableReplacer::Default();
+  replacer.set_use_fast_builtins(false);
+  std::string out;
+  size_t i = 0;
+  for (auto _ : state) {
+    replacer.ReplaceInto(logs[i++ & 4095], &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_VariableReplaceRegex);
+
+void BM_PreprocessBatch(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  VariableReplacer replacer = VariableReplacer::Default();
+  PreprocessOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = Preprocess(logs, replacer, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(logs.size()));
+}
+BENCHMARK(BM_PreprocessBatch)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SaturationScore(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  VariableReplacer replacer = VariableReplacer::Default();
+  PreprocessOptions opts;
+  auto pre = Preprocess(logs, replacer, opts);
+  std::vector<uint32_t> members;
+  for (uint32_t i = 0; i < pre.logs.size() && i < 256; ++i) {
+    if (pre.logs[i].tokens.size() == pre.logs[0].tokens.size()) {
+      members.push_back(i);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSaturation(pre.logs, members, {}));
+  }
+}
+BENCHMARK(BM_SaturationScore);
+
+void BM_TrainOpenSsh(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  for (auto _ : state) {
+    ByteBrainOptions options;
+    options.trainer.num_threads = 2;
+    options.trainer.preprocess.num_threads = 2;
+    ByteBrainParser parser(options);
+    benchmark::DoNotOptimize(parser.Train(logs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(logs.size()));
+}
+BENCHMARK(BM_TrainOpenSsh);
+
+void BM_OnlineMatch(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  ByteBrainOptions options;
+  options.trainer.num_threads = 2;
+  ByteBrainParser parser(options);
+  if (!parser.Train(logs).ok()) {
+    state.SkipWithError("training failed");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Match(logs[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_OnlineMatch);
+
+void BM_RegexSearchLinear(benchmark::State& state) {
+  // Pathological pattern that kills backtracking engines; the NFA must
+  // stay linear in the text length.
+  auto re = Regex::Compile("(a+)+b");
+  std::string text(static_cast<size_t>(state.range(0)), 'a');
+  RegexMatch m;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re->Search(text, &m));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RegexSearchLinear)->Range(64, 4096)->Complexity();
+
+}  // namespace
+}  // namespace bytebrain
+
+BENCHMARK_MAIN();

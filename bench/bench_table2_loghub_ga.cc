@@ -1,0 +1,79 @@
+// Table 2: grouping accuracy of all 17 methods on the 16 LogHub
+// datasets (2000 logs each). Prints the full matrix, the per-method
+// averages, and the paper's averages for comparison.
+#include <map>
+
+#include "baselines/registry.h"
+#include "bench/bench_common.h"
+#include "bench/paper_reference.h"
+
+using namespace bytebrain;
+
+int main() {
+  PrintBenchHeader("Table 2 — Group Accuracy on LogHub (2000 logs/dataset)",
+                   "paper Table 2");
+
+  const auto& specs = AllDatasetSpecs();
+  std::map<std::string, std::map<std::string, double>> ga;  // method -> ds
+  std::vector<std::string> method_order;
+
+  for (const DatasetSpec& spec : specs) {
+    DatasetGenerator generator(spec);
+    Dataset ds = generator.GenerateLogHub();
+    BaselineHints hints;
+    hints.expected_templates = ds.num_templates;
+    hints.gt_labels = LabelsOf(ds);
+
+    auto parsers = MakeAllBaselines(hints);
+    for (auto& parser : parsers) {
+      RunResult r = RunOn(parser.get(), ds);
+      ga[parser->name()][spec.name] = r.grouping_accuracy;
+    }
+    ByteBrainAdapter bytebrain(ByteBrainDefaultConfig());
+    RunResult r = RunOn(&bytebrain, ds);
+    ga["ByteBrain"][spec.name] = r.grouping_accuracy;
+    std::printf("  [done] %s\n", spec.name.c_str());
+    if (method_order.empty()) {
+      for (auto& parser : parsers) method_order.push_back(parser->name());
+      method_order.push_back("ByteBrain");
+    }
+  }
+  std::printf("\n");
+
+  // Matrix, paper order: datasets as columns (abbreviated), methods rows.
+  std::vector<std::string> headers = {"Method"};
+  std::vector<int> widths = {12};
+  for (const DatasetSpec& spec : specs) {
+    headers.push_back(spec.name.substr(0, 6));
+    widths.push_back(8);
+  }
+  headers.push_back("Avg");
+  widths.push_back(7);
+  headers.push_back("Paper");
+  widths.push_back(7);
+  TablePrinter table(headers, widths);
+  table.PrintHeader();
+
+  for (const std::string& method : method_order) {
+    std::vector<std::string> row = {method.substr(0, 11)};
+    double sum = 0.0;
+    for (const DatasetSpec& spec : specs) {
+      const double v = ga[method][spec.name];
+      row.push_back(TablePrinter::Fmt(v));
+      sum += v;
+    }
+    row.push_back(TablePrinter::Fmt(sum / specs.size()));
+    const auto it = PaperTable2Averages().find(method);
+    row.push_back(it != PaperTable2Averages().end()
+                      ? TablePrinter::Fmt(it->second)
+                      : "-");
+    table.PrintRow(row);
+  }
+
+  std::printf("\nByteBrain per-dataset, paper vs measured:\n");
+  for (const DatasetSpec& spec : specs) {
+    std::printf("  %-12s paper %.2f  measured %.2f\n", spec.name.c_str(),
+                PaperTable2ByteBrain().at(spec.name), ga["ByteBrain"][spec.name]);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 4: templates obtained at varying saturation thresholds on
+// Android wake-lock logs — the qualitative precision-slider result.
+#include <set>
+
+#include "bench/bench_common.h"
+#include "core/parser.h"
+
+using namespace bytebrain;
+
+int main() {
+  PrintBenchHeader("Table 4 — templates at varying saturation thresholds",
+                   "paper Table 4");
+
+  DatasetGenerator generator(*FindDatasetSpec("Android"));
+  GenOptions opts;
+  opts.num_logs = 20000;
+  opts.num_templates = 166;
+  Dataset ds = generator.Generate(opts);
+  std::vector<std::string> logs;
+  logs.reserve(ds.logs.size());
+  for (auto& l : ds.logs) logs.push_back(l.text);
+
+  ByteBrainOptions options;
+  options.trainer.num_threads = 2;
+  options.trainer.preprocess.num_threads = 2;
+  ByteBrainParser parser(options);
+  if (!parser.Train(logs).ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  std::vector<TemplateId> lock_leaves;
+  for (const std::string& log : logs) {
+    if (log.rfind("acquire lock=", 0) == 0 ||
+        log.rfind("release lock=", 0) == 0) {
+      const TemplateId id = parser.Match(log);
+      if (id != kInvalidTemplateId) lock_leaves.push_back(id);
+    }
+  }
+  std::printf("wake-lock logs matched: %zu\n\n", lock_leaves.size());
+
+  size_t prev_count = 0;
+  for (double threshold : {0.05, 0.78, 0.90, 0.95}) {
+    std::set<std::string> templates;
+    for (TemplateId leaf : lock_leaves) {
+      auto resolved = parser.ResolveAtThreshold(leaf, threshold);
+      if (resolved.ok()) {
+        templates.insert(parser.TemplateText(resolved.value()));
+      }
+    }
+    std::printf("Saturation %.2f — %zu templates\n", threshold,
+                templates.size());
+    size_t shown = 0;
+    for (const auto& t : templates) {
+      std::printf("  %s\n", t.c_str());
+      if (++shown == 10) {
+        std::printf("  ... (%zu more)\n", templates.size() - shown);
+        break;
+      }
+    }
+    if (templates.size() < prev_count) {
+      std::printf("  !! SHAPE VIOLATION: template count decreased with a "
+                  "higher threshold\n");
+    }
+    prev_count = templates.size();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check (paper Table 4): the template count grows with the\n"
+      "threshold — one generalized pattern at 0.05, acquire/release split\n"
+      "around 0.78, per-process/ws variants at 0.9+.\n");
+  return 0;
+}

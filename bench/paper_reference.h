@@ -1,0 +1,107 @@
+// Reference values transcribed from the paper, printed next to our
+// measured numbers so every bench reports paper-vs-measured in place.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bytebrain {
+
+/// Table 2 (LogHub) per-method average grouping accuracy.
+inline const std::map<std::string, double>& PaperTable2Averages() {
+  static const auto* v = new std::map<std::string, double>{
+      {"AEL", 0.76},       {"Drain", 0.87},    {"IPLoM", 0.80},
+      {"LenMa", 0.77},     {"LFA", 0.64},      {"LogCluster", 0.65},
+      {"LogMine", 0.74},   {"Logram", 0.83},   {"LogSig", 0.52},
+      {"MoLFI", 0.58},     {"SHISO", 0.68},    {"SLCT", 0.63},
+      {"Spell", 0.79},     {"UniParser", 0.99}, {"LogPPT", 0.92},
+      {"LILAC", 0.94},     {"ByteBrain", 0.98},
+  };
+  return *v;
+}
+
+/// Table 3 (LogHub-2.0) per-method average grouping accuracy.
+inline const std::map<std::string, double>& PaperTable3Averages() {
+  static const auto* v = new std::map<std::string, double>{
+      {"AEL", 0.86},       {"Drain", 0.84},    {"IPLoM", 0.79},
+      {"LenMa", 0.81},     {"LFA", 0.61},      {"LogCluster", 0.57},
+      {"LogMine", 0.75},   {"Logram", 0.34},   {"LogSig", 0.18},
+      {"MoLFI", 0.52},     {"SHISO", 0.54},    {"SLCT", 0.40},
+      {"Spell", 0.73},     {"UniParser", 0.66}, {"LogPPT", 0.56},
+      {"LILAC", 0.93},     {"ByteBrain", 0.90},
+  };
+  return *v;
+}
+
+/// Table 2: ByteBrain per-dataset grouping accuracy.
+inline const std::map<std::string, double>& PaperTable2ByteBrain() {
+  static const auto* v = new std::map<std::string, double>{
+      {"Android", 0.94},  {"Apache", 1.00},     {"BGL", 0.95},
+      {"HDFS", 0.98},     {"HPC", 1.00},        {"Hadoop", 1.00},
+      {"HealthApp", 0.96}, {"Linux", 0.98},     {"Mac", 0.90},
+      {"OpenSSH", 0.99},  {"OpenStack", 1.00},  {"Proxifier", 0.99},
+      {"Spark", 1.00},    {"Thunderbird", 0.96}, {"Windows", 1.00},
+      {"Zookeeper", 0.97},
+  };
+  return *v;
+}
+
+/// Table 3: ByteBrain per-dataset grouping accuracy.
+inline const std::map<std::string, double>& PaperTable3ByteBrain() {
+  static const auto* v = new std::map<std::string, double>{
+      {"Apache", 0.99},   {"BGL", 0.91},        {"HDFS", 1.00},
+      {"HPC", 0.80},      {"Hadoop", 0.92},     {"HealthApp", 0.96},
+      {"Linux", 0.81},    {"Mac", 0.81},        {"OpenSSH", 0.63},
+      {"OpenStack", 0.99}, {"Proxifier", 0.98}, {"Spark", 0.97},
+      {"Thunderbird", 0.78}, {"Zookeeper", 0.97},
+  };
+  return *v;
+}
+
+/// Fig. 6: per-method average throughput (logs/second).
+inline const std::map<std::string, double>& PaperFig6AverageThroughput() {
+  static const auto* v = new std::map<std::string, double>{
+      {"AEL", 9.27e3},     {"Drain", 8.85e3},   {"IPLoM", 1.22e4},
+      {"LenMa", 9.24e2},   {"LFA", 1.38e4},     {"LogCluster", 2.36e4},
+      {"LogMine", 1.84e2}, {"Logram", 1.07e3},  {"LogSig", 6.61e2},
+      {"MoLFI", 1.04e3},   {"SHISO", 9.57e2},   {"SLCT", 6.54e3},
+      {"Spell", 3.55e3},   {"UniParser", 2.13e3}, {"LogPPT", 1.14e3},
+      {"LILAC", 4.33e3},   {"ByteBrain Sequential", 1.66e5},
+      {"ByteBrain w/o JIT", 8.91e4}, {"ByteBrain", 2.29e5},
+  };
+  return *v;
+}
+
+/// Fig. 6: ByteBrain per-dataset throughput (logs/second).
+inline const std::map<std::string, double>& PaperFig6ByteBrain() {
+  static const auto* v = new std::map<std::string, double>{
+      {"Apache", 2.42e5},  {"BGL", 4.15e5},     {"HDFS", 3.69e5},
+      {"HPC", 3.87e5},     {"Hadoop", 9.17e4},  {"HealthApp", 9.85e4},
+      {"Linux", 8.73e4},   {"Mac", 8.87e4},     {"OpenSSH", 2.38e5},
+      {"OpenStack", 8.82e4}, {"Proxifier", 1.40e5}, {"Spark", 2.30e5},
+      {"Thunderbird", 5.62e5}, {"Zookeeper", 1.71e5},
+  };
+  return *v;
+}
+
+/// Table 5: production topics (scenario, MB/s, model MB, training s).
+struct PaperTable5Row {
+  const char* scenario;
+  double volume_mb_per_s;
+  double model_mb;
+  double training_seconds;
+};
+
+inline const std::vector<PaperTable5Row>& PaperTable5() {
+  static const auto* v = new std::vector<PaperTable5Row>{
+      {"Text stream processing", 189.0, 3.0, 0.91},
+      {"Webserver access log", 57.8, 10.0, 7.98},
+      {"Webserver access log", 47.7, 3.0, 1.02},
+      {"Go HTTP API server", 3.51, 7.0, 1.65},
+      {"Go search server", 2.46, 7.0, 4.64},
+  };
+  return *v;
+}
+
+}  // namespace bytebrain

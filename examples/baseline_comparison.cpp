@@ -1,0 +1,63 @@
+// Baseline comparison: ByteBrain vs Drain vs Spell vs IPLoM on one
+// generated dataset, printing grouping accuracy and throughput — a
+// miniature of the paper's Table 2 / Fig. 6 on your own machine.
+//
+//   ./examples/baseline_comparison [dataset] [num_logs]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/drain.h"
+#include "baselines/iplom.h"
+#include "baselines/spell.h"
+#include "datagen/generator.h"
+#include "eval/bytebrain_adapter.h"
+#include "eval/runner.h"
+
+using namespace bytebrain;
+
+int main(int argc, char** argv) {
+  const std::string dataset_name = argc > 1 ? argv[1] : "OpenSSH";
+  const size_t num_logs =
+      argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 20000;
+
+  const DatasetSpec* spec = FindDatasetSpec(dataset_name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", dataset_name.c_str());
+    return 1;
+  }
+  DatasetGenerator generator(*spec);
+  GenOptions gen_options;
+  gen_options.num_logs = num_logs;
+  gen_options.num_templates =
+      spec->loghub2_templates > 0 ? spec->loghub2_templates
+                                  : spec->loghub_templates;
+  Dataset dataset = generator.Generate(gen_options);
+
+  std::printf("dataset=%s logs=%zu templates=%zu\n\n", dataset.name.c_str(),
+              dataset.logs.size(), dataset.num_templates);
+
+  TablePrinter table({"Method", "GA", "Throughput (logs/s)", "Groups"},
+                     {24, 8, 22, 10});
+  table.PrintHeader();
+
+  auto report = [&table](LogParserInterface* parser, const Dataset& ds) {
+    const RunResult r = RunOn(parser, ds);
+    table.PrintRow({parser->name(), TablePrinter::Fmt(r.grouping_accuracy),
+                    TablePrinter::Fmt(r.Throughput(), 0),
+                    std::to_string(r.num_groups)});
+  };
+
+  ByteBrainAdapter bytebrain(ByteBrainDefaultConfig());
+  ByteBrainAdapter sequential(ByteBrainSequentialConfig());
+  DrainParser drain;
+  SpellParser spell;
+  IplomParser iplom;
+
+  report(&bytebrain, dataset);
+  report(&sequential, dataset);
+  report(&drain, dataset);
+  report(&spell, dataset);
+  report(&iplom, dataset);
+  return 0;
+}

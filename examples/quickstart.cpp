@@ -1,0 +1,52 @@
+// Quickstart: train a ByteBrainParser on a handful of logs, match new
+// arrivals, and adjust template precision at query time.
+//
+//   ./examples/quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/parser.h"
+
+using bytebrain::ByteBrainOptions;
+using bytebrain::ByteBrainParser;
+using bytebrain::TemplateId;
+
+int main() {
+  // The paper's Fig. 1 workload: wake-lock acquire/release lines.
+  std::vector<std::string> training_logs = {
+      "release:lock=2337, flg=0x0, tag=\"View Lock\", name=systemui, ws=null",
+      "release:lock=187, flg=0x0, tag=\"*launch*\", name=android, ws=WS{10113}",
+      "release:lock=62, flg=0x0, tag=\"WindowManager\", name=android, ws=WS{1013}",
+      "acquire:lock=23, flg=0x1, tag=\"View Lock\", name=systemui, ws=null",
+      "acquire:lock=1661, flg=0x1, tag=\"RILJ_ACK_WL\", name=phone, ws=null",
+      "acquire:lock=95, flg=0x1, tag=\"View Lock\", name=systemui, ws=null",
+      "release:lock=11, flg=0x0, tag=\"View Lock\", name=systemui, ws=null",
+      "acquire:lock=404, flg=0x1, tag=\"*job*\", name=android, ws=WS{2001}",
+  };
+
+  ByteBrainParser parser((ByteBrainOptions()));
+  bytebrain::Status status = parser.Train(training_logs);
+  if (!status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("Trained a model with %zu templates.\n\n", parser.model().size());
+
+  // Match a new log online.
+  const std::string arriving =
+      "release:lock=777, flg=0x0, tag=\"View Lock\", name=systemui, ws=null";
+  const TemplateId leaf = parser.Match(arriving);
+  std::printf("New log : %s\n", arriving.c_str());
+  std::printf("Template: %s\n\n", parser.TemplateText(leaf).c_str());
+
+  // Query-time precision adjustment: the same log, coarser to finer.
+  std::printf("Precision slider (saturation threshold -> template):\n");
+  for (double threshold : {0.05, 0.5, 0.9, 1.0}) {
+    auto resolved = parser.ResolveAtThreshold(leaf, threshold);
+    if (!resolved.ok()) continue;
+    std::printf("  %.2f -> %s\n", threshold,
+                parser.TemplateText(resolved.value()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "baselines/ael.h"
+
+#include <unordered_map>
+
+namespace bytebrain {
+
+namespace {
+
+// Anonymization: digit-bearing tokens and replaced variables ("*") become
+// the parameter placeholder.
+std::vector<std::string> Anonymize(const std::vector<std::string>& tokens,
+                                   size_t* num_params) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  *num_params = 0;
+  for (const auto& tok : tokens) {
+    if (tok == "*" || HasDigits(tok)) {
+      out.emplace_back(kBaselineWildcard);
+      ++*num_params;
+    } else {
+      out.push_back(tok);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint64_t> AelParser::Parse(const std::vector<std::string>& logs) {
+  auto token_lists = PreprocessTokens(logs);
+  std::vector<uint64_t> out(logs.size(), 0);
+
+  struct Event {
+    std::vector<std::string> tokens;
+    std::vector<uint32_t> members;
+  };
+  // Bin key: (word count, parameter count) + categorize by sequence.
+  std::unordered_map<std::string, uint32_t> event_index;
+  std::vector<Event> events;
+  std::vector<std::string> bin_of_event;
+
+  for (uint32_t i = 0; i < token_lists.size(); ++i) {
+    size_t num_params = 0;
+    auto anon = Anonymize(token_lists[i], &num_params);
+    std::string key = std::to_string(anon.size()) + '#' +
+                      std::to_string(num_params) + '#' + JoinKey(anon);
+    auto [it, inserted] =
+        event_index.emplace(std::move(key), static_cast<uint32_t>(events.size()));
+    if (inserted) {
+      events.push_back({std::move(anon), {}});
+      bin_of_event.push_back(
+          std::to_string(events.back().tokens.size()) + '#' +
+          std::to_string(num_params));
+    }
+    events[it->second].members.push_back(i);
+  }
+
+  // Reconcile: within a bin, merge events whose sequences differ at
+  // exactly one position where at least one side is a parameter.
+  std::vector<uint32_t> parent(events.size());
+  for (uint32_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+
+  std::unordered_map<std::string, std::vector<uint32_t>> bins;
+  for (uint32_t e = 0; e < events.size(); ++e) {
+    bins[bin_of_event[e]].push_back(e);
+  }
+  for (const auto& [bin, ids] : bins) {
+    // Pairwise reconcile is quadratic; bound it for pathological bins.
+    if (ids.size() > 2000) continue;
+    for (size_t a = 0; a < ids.size(); ++a) {
+      for (size_t b = a + 1; b < ids.size(); ++b) {
+        const auto& ta = events[ids[a]].tokens;
+        const auto& tb = events[ids[b]].tokens;
+        if (ta.size() != tb.size()) continue;
+        size_t diffs = 0;
+        bool param_diff = false;
+        for (size_t p = 0; p < ta.size() && diffs <= 1; ++p) {
+          if (ta[p] != tb[p]) {
+            ++diffs;
+            param_diff = ta[p] == kBaselineWildcard ||
+                         tb[p] == kBaselineWildcard;
+          }
+        }
+        if (diffs == 1 && param_diff) {
+          parent[find(ids[a])] = find(ids[b]);
+        }
+      }
+    }
+  }
+
+  for (uint32_t e = 0; e < events.size(); ++e) {
+    const uint64_t id = find(e) + 1;
+    for (uint32_t m : events[e].members) out[m] = id;
+  }
+  return out;
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,22 @@
+// AEL (Jiang et al., QSIC 2008): Abstracting Execution Logs.
+// Four steps: anonymize (key=value and numeric tokens become parameter
+// placeholders), tokenize into bins by (word count, parameter count),
+// categorize (identical anonymized sequences share an execution event),
+// and reconcile (merge events differing at a single parameter-bearing
+// position).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace bytebrain {
+
+class AelParser : public LogParserInterface {
+ public:
+  std::string name() const override { return "AEL"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+};
+
+}  // namespace bytebrain

@@ -1,0 +1,43 @@
+#include "baselines/common.h"
+
+#include "core/tokenizer.h"
+#include "core/variable_replacer.h"
+
+namespace bytebrain {
+
+std::vector<std::vector<std::string>> PreprocessTokens(
+    const std::vector<std::string>& logs) {
+  const VariableReplacer replacer = VariableReplacer::Default();
+  std::vector<std::vector<std::string>> out;
+  out.reserve(logs.size());
+  std::string scratch;
+  std::vector<std::string_view> views;
+  for (const std::string& log : logs) {
+    replacer.ReplaceInto(log, &scratch);
+    views.clear();
+    TokenizeDefaultInto(scratch, &views);
+    out.emplace_back(views.begin(), views.end());
+  }
+  return out;
+}
+
+bool HasDigits(std::string_view token) {
+  for (char c : token) {
+    if (c >= '0' && c <= '9') return true;
+  }
+  return false;
+}
+
+std::string JoinKey(const std::vector<std::string>& tokens) {
+  std::string key;
+  size_t total = tokens.size();
+  for (const auto& t : tokens) total += t.size();
+  key.reserve(total);
+  for (const auto& t : tokens) {
+    key += t;
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,30 @@
+// Shared helpers for the reimplemented baseline parsers (§5.1.2).
+//
+// Every baseline receives the same preprocessing as ByteBrain — default
+// common-variable replacement followed by the default tokenizer — which
+// mirrors the Logparser toolkit's practice of applying per-dataset
+// variable regexes before parsing and keeps the comparison fair.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/parser_interface.h"
+
+namespace bytebrain {
+
+/// The wildcard literal baselines put into their templates.
+inline constexpr std::string_view kBaselineWildcard = "<*>";
+
+/// Variable replacement + tokenization for a whole batch.
+std::vector<std::vector<std::string>> PreprocessTokens(
+    const std::vector<std::string>& logs);
+
+/// True if the token contains any ASCII digit (Drain's variable heuristic).
+bool HasDigits(std::string_view token);
+
+/// Joins tokens with '\x1f' into a hashable group key.
+std::string JoinKey(const std::vector<std::string>& tokens);
+
+}  // namespace bytebrain

@@ -1,0 +1,81 @@
+#include "baselines/drain.h"
+
+namespace bytebrain {
+
+namespace {
+
+double SimSeq(const std::vector<std::string>& tmpl,
+              const std::vector<std::string>& tokens) {
+  if (tmpl.size() != tokens.size() || tmpl.empty()) return 0.0;
+  size_t same = 0;
+  for (size_t i = 0; i < tmpl.size(); ++i) {
+    if (tmpl[i] == tokens[i]) ++same;  // wildcard counts 0, as in the paper
+  }
+  return static_cast<double>(same) / static_cast<double>(tmpl.size());
+}
+
+}  // namespace
+
+DrainParser::Group* DrainParser::SearchOrInsert(
+    const std::vector<std::string>& tokens) {
+  // Level 1: token count.
+  Node* node = &root_;
+  const std::string len_key = std::to_string(tokens.size());
+  auto& len_child = node->children[len_key];
+  if (len_child == nullptr) len_child = std::make_unique<Node>();
+  node = len_child.get();
+
+  // Levels 2..depth+1: leading tokens; digit-bearing tokens and overflow
+  // beyond max_children route to the wildcard branch.
+  const int levels =
+      std::min<int>(options_.depth, static_cast<int>(tokens.size()));
+  for (int d = 0; d < levels; ++d) {
+    const std::string& tok = tokens[d];
+    std::string key = HasDigits(tok) ? std::string(kBaselineWildcard) : tok;
+    auto it = node->children.find(key);
+    if (it == node->children.end()) {
+      if (static_cast<int>(node->children.size()) >= options_.max_children) {
+        key = std::string(kBaselineWildcard);
+      }
+      auto& child = node->children[key];
+      if (child == nullptr) child = std::make_unique<Node>();
+      node = child.get();
+    } else {
+      node = it->second.get();
+    }
+  }
+
+  // Leaf: find the most similar group.
+  Group* best = nullptr;
+  double best_sim = 0.0;
+  for (Group& g : node->groups) {
+    const double sim = SimSeq(g.template_tokens, tokens);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = &g;
+    }
+  }
+  if (best != nullptr && best_sim >= options_.st) {
+    // Update template: mismatches become wildcards.
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (best->template_tokens[i] != tokens[i]) {
+        best->template_tokens[i] = std::string(kBaselineWildcard);
+      }
+    }
+    return best;
+  }
+  node->groups.push_back({tokens, next_id_++});
+  return &node->groups.back();
+}
+
+std::vector<uint64_t> DrainParser::Parse(
+    const std::vector<std::string>& logs) {
+  auto token_lists = PreprocessTokens(logs);
+  std::vector<uint64_t> out(logs.size(), 0);
+  for (size_t i = 0; i < token_lists.size(); ++i) {
+    out[i] = SearchOrInsert(token_lists[i])->id;
+  }
+  return out;
+}
+
+}  // namespace bytebrain

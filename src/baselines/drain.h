@@ -1,0 +1,48 @@
+// Drain (He et al., ICWS 2017): online log parsing with a fixed-depth
+// parse tree. Logs descend length -> first `depth` tokens (digit-bearing
+// tokens collapse to a wildcard branch, full branches overflow into it)
+// to a leaf holding log groups; a log joins the most similar group when
+// the token-equality ratio >= st, else starts a new group. Mismatching
+// positions in the joined group's template become wildcards.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace bytebrain {
+
+struct DrainOptions {
+  int depth = 2;          // prefix tokens consulted by the tree
+  double st = 0.4;        // similarity threshold
+  int max_children = 100; // per internal node before overflow to "<*>"
+};
+
+class DrainParser : public LogParserInterface {
+ public:
+  explicit DrainParser(DrainOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "Drain"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+
+ private:
+  struct Group {
+    std::vector<std::string> template_tokens;
+    uint64_t id;
+  };
+  struct Node {
+    std::unordered_map<std::string, std::unique_ptr<Node>> children;
+    std::vector<Group> groups;  // only at leaves
+  };
+
+  Group* SearchOrInsert(const std::vector<std::string>& tokens);
+
+  DrainOptions options_;
+  Node root_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace bytebrain

@@ -1,0 +1,224 @@
+#include "baselines/frequency_parsers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/hashing.h"
+
+namespace bytebrain {
+
+namespace {
+
+uint64_t PosWordKey(size_t pos, std::string_view word) {
+  return HashCombine(Mix64(pos), HashToken(word));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SLCT
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> SlctParser::Parse(const std::vector<std::string>& logs) {
+  auto token_lists = PreprocessTokens(logs);
+  std::vector<uint64_t> out(logs.size(), 0);
+  const uint64_t support = std::max<uint64_t>(
+      2, static_cast<uint64_t>(support_fraction_ *
+                               static_cast<double>(logs.size())));
+
+  // Pass 1: (position, word) frequencies.
+  std::unordered_map<uint64_t, uint32_t> pair_count;
+  for (const auto& tokens : token_lists) {
+    for (size_t p = 0; p < tokens.size(); ++p) {
+      pair_count[PosWordKey(p, tokens[p])]++;
+    }
+  }
+
+  // Pass 2: cluster candidate per log = its frequent pairs (plus length).
+  std::unordered_map<std::string, std::vector<uint32_t>> candidates;
+  for (uint32_t i = 0; i < token_lists.size(); ++i) {
+    const auto& tokens = token_lists[i];
+    std::string key = std::to_string(tokens.size()) + '|';
+    for (size_t p = 0; p < tokens.size(); ++p) {
+      if (pair_count[PosWordKey(p, tokens[p])] >= support) {
+        key += std::to_string(p) + '=' + tokens[p] + '\x1f';
+      }
+    }
+    candidates[key].push_back(i);
+  }
+
+  // Pass 3: candidates with enough support are clusters; the rest are
+  // outliers, each its own group.
+  uint64_t next_id = 1;
+  uint64_t outlier_id = 1ULL << 32;
+  for (const auto& [key, members] : candidates) {
+    if (members.size() >= support) {
+      const uint64_t id = next_id++;
+      for (uint32_t m : members) out[m] = id;
+    } else {
+      for (uint32_t m : members) out[m] = outlier_id++;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LogCluster
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> LogClusterParser::Parse(
+    const std::vector<std::string>& logs) {
+  auto token_lists = PreprocessTokens(logs);
+  std::vector<uint64_t> out(logs.size(), 0);
+  const uint64_t support = std::max<uint64_t>(
+      2, static_cast<uint64_t>(support_fraction_ *
+                               static_cast<double>(logs.size())));
+
+  // Pass 1: position-independent word frequencies.
+  std::unordered_map<std::string, uint32_t> word_count;
+  for (const auto& tokens : token_lists) {
+    for (const auto& w : tokens) word_count[w]++;
+  }
+
+  // Pass 2: key = subsequence of frequent words.
+  std::unordered_map<std::string, uint64_t> cluster_ids;
+  uint64_t next_id = 1;
+  uint64_t outlier_id = 1ULL << 32;
+  for (uint32_t i = 0; i < token_lists.size(); ++i) {
+    std::string key;
+    size_t frequent_words = 0;
+    for (const auto& w : token_lists[i]) {
+      if (word_count[w] >= support) {
+        key += w;
+        key += '\x1f';
+        ++frequent_words;
+      }
+    }
+    if (frequent_words == 0) {
+      out[i] = outlier_id++;  // no frequent words: outlier
+      continue;
+    }
+    auto [it, inserted] = cluster_ids.emplace(std::move(key), next_id);
+    if (inserted) ++next_id;
+    out[i] = it->second;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LFA
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> LfaParser::Parse(const std::vector<std::string>& logs) {
+  auto token_lists = PreprocessTokens(logs);
+  std::vector<uint64_t> out(logs.size(), 0);
+
+  // Global word frequencies.
+  std::unordered_map<std::string, uint32_t> word_count;
+  for (const auto& tokens : token_lists) {
+    for (const auto& w : tokens) word_count[w]++;
+  }
+
+  std::unordered_map<std::string, uint64_t> cluster_ids;
+  uint64_t next_id = 1;
+  for (uint32_t i = 0; i < token_lists.size(); ++i) {
+    const auto& tokens = token_lists[i];
+    // Largest-gap split over the log's token frequencies.
+    std::vector<uint32_t> freqs;
+    freqs.reserve(tokens.size());
+    for (const auto& w : tokens) freqs.push_back(word_count[w]);
+    std::vector<uint32_t> sorted = freqs;
+    std::sort(sorted.begin(), sorted.end());
+    uint32_t cut = 0;
+    uint32_t best_gap = 0;
+    for (size_t k = 1; k < sorted.size(); ++k) {
+      const uint32_t gap = sorted[k] - sorted[k - 1];
+      if (gap >= best_gap) {  // >= : prefer the highest split point
+        best_gap = gap;
+        cut = sorted[k];
+      }
+    }
+    std::string key = std::to_string(tokens.size()) + '|';
+    for (size_t p = 0; p < tokens.size(); ++p) {
+      if (best_gap > 0 && freqs[p] >= cut) {
+        key += tokens[p];
+      } else if (best_gap == 0) {
+        key += tokens[p];  // uniform frequencies: all constant
+      } else {
+        key += kBaselineWildcard;
+      }
+      key += '\x1f';
+    }
+    auto [it, inserted] = cluster_ids.emplace(std::move(key), next_id);
+    if (inserted) ++next_id;
+    out[i] = it->second;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Logram
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> LogramParser::Parse(const std::vector<std::string>& logs) {
+  auto token_lists = PreprocessTokens(logs);
+  std::vector<uint64_t> out(logs.size(), 0);
+
+  // n-gram dictionaries.
+  std::unordered_map<uint64_t, uint32_t> grams2;
+  std::unordered_map<uint64_t, uint32_t> grams3;
+  for (const auto& tokens : token_lists) {
+    for (size_t p = 0; p + 1 < tokens.size(); ++p) {
+      grams2[HashCombine(HashToken(tokens[p]), HashToken(tokens[p + 1]))]++;
+    }
+    for (size_t p = 0; p + 2 < tokens.size(); ++p) {
+      grams3[HashCombine(
+          HashCombine(HashToken(tokens[p]), HashToken(tokens[p + 1])),
+          HashToken(tokens[p + 2]))]++;
+    }
+  }
+
+  std::unordered_map<std::string, uint64_t> cluster_ids;
+  uint64_t next_id = 1;
+  for (uint32_t i = 0; i < token_lists.size(); ++i) {
+    const auto& tokens = token_lists[i];
+    std::string key = std::to_string(tokens.size()) + '|';
+    for (size_t p = 0; p < tokens.size(); ++p) {
+      // A token is suspicious if any 3-gram containing it is rare; it is
+      // confirmed variable if its 2-grams are rare too.
+      bool rare3 = false;
+      for (size_t s = (p >= 2 ? p - 2 : 0); s + 2 < tokens.size() && s <= p;
+           ++s) {
+        const uint64_t g = HashCombine(
+            HashCombine(HashToken(tokens[s]), HashToken(tokens[s + 1])),
+            HashToken(tokens[s + 2]));
+        if (grams3[g] < t3_) {
+          rare3 = true;
+          break;
+        }
+      }
+      bool is_variable = false;
+      if (rare3 || tokens.size() < 3) {
+        uint32_t best2 = 0;
+        if (p + 1 < tokens.size()) {
+          best2 = std::max(best2, grams2[HashCombine(HashToken(tokens[p]),
+                                                     HashToken(tokens[p + 1]))]);
+        }
+        if (p > 0) {
+          best2 = std::max(best2, grams2[HashCombine(HashToken(tokens[p - 1]),
+                                                     HashToken(tokens[p]))]);
+        }
+        is_variable = best2 < t2_;
+      }
+      key += is_variable ? std::string(kBaselineWildcard) : tokens[p];
+      key += '\x1f';
+    }
+    auto [it, inserted] = cluster_ids.emplace(std::move(key), next_id);
+    if (inserted) ++next_id;
+    out[i] = it->second;
+  }
+  return out;
+}
+
+}  // namespace bytebrain

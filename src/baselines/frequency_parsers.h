@@ -1,0 +1,65 @@
+// Frequency-based baselines, one class per method:
+//
+//  * SLCT (Vaarandi, IPOM 2003): frequent (position, word) pairs above a
+//    support threshold form cluster candidates; each log maps to the
+//    candidate made of its frequent pairs, infrequent candidates are
+//    outliers.
+//  * LogCluster (Vaarandi & Podins, CNSM 2015 lineage; the toolkit
+//    variant): a log's cluster key is its subsequence of frequent words
+//    (position-independent support).
+//  * LFA (Nagappan & Vouk, MSR 2010): per-log frequency analysis — split
+//    the log's token-frequency distribution at the largest gap; tokens on
+//    the high side are constants, the rest parameters.
+//  * Logram (Dai et al., TSE 2020): tokens whose 3-grams (checked against
+//    2-grams) are rare are variables; the constant skeleton is the key.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace bytebrain {
+
+class SlctParser : public LogParserInterface {
+ public:
+  explicit SlctParser(double support_fraction = 0.002)
+      : support_fraction_(support_fraction) {}
+  std::string name() const override { return "SLCT"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+
+ private:
+  double support_fraction_;
+};
+
+class LogClusterParser : public LogParserInterface {
+ public:
+  explicit LogClusterParser(double support_fraction = 0.002)
+      : support_fraction_(support_fraction) {}
+  std::string name() const override { return "LogCluster"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+
+ private:
+  double support_fraction_;
+};
+
+class LfaParser : public LogParserInterface {
+ public:
+  std::string name() const override { return "LFA"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+};
+
+class LogramParser : public LogParserInterface {
+ public:
+  explicit LogramParser(uint32_t three_gram_threshold = 2,
+                        uint32_t two_gram_threshold = 2)
+      : t3_(three_gram_threshold), t2_(two_gram_threshold) {}
+  std::string name() const override { return "Logram"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+
+ private:
+  uint32_t t3_;
+  uint32_t t2_;
+};
+
+}  // namespace bytebrain

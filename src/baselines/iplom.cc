@@ -1,0 +1,138 @@
+#include "baselines/iplom.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bytebrain {
+
+namespace {
+
+struct Partition {
+  std::vector<uint32_t> members;
+  int stage = 1;  // next split stage to apply (2 or 3); 4 = done
+};
+
+// Distinct token count at `pos` over the members.
+size_t DistinctAt(const std::vector<std::vector<std::string>>& tokens,
+                  const std::vector<uint32_t>& members, size_t pos) {
+  std::unordered_set<std::string_view> seen;
+  for (uint32_t m : members) seen.insert(tokens[m][pos]);
+  return seen.size();
+}
+
+double ConstantRatio(const std::vector<std::vector<std::string>>& tokens,
+                     const std::vector<uint32_t>& members) {
+  if (members.empty()) return 1.0;
+  const size_t len = tokens[members[0]].size();
+  if (len == 0) return 1.0;
+  size_t constants = 0;
+  for (size_t p = 0; p < len; ++p) {
+    if (DistinctAt(tokens, members, p) == 1) ++constants;
+  }
+  return static_cast<double>(constants) / static_cast<double>(len);
+}
+
+}  // namespace
+
+std::vector<uint64_t> IplomParser::Parse(const std::vector<std::string>& logs) {
+  auto tokens = PreprocessTokens(logs);
+  std::vector<uint64_t> out(logs.size(), 0);
+
+  // Stage 1: partition by token count.
+  std::unordered_map<size_t, Partition> by_len;
+  for (uint32_t i = 0; i < tokens.size(); ++i) {
+    auto& p = by_len[tokens[i].size()];
+    p.members.push_back(i);
+    p.stage = 2;
+  }
+
+  std::vector<Partition> work;
+  work.reserve(by_len.size());
+  for (auto& [len, p] : by_len) work.push_back(std::move(p));
+
+  uint64_t next_id = 1;
+  auto finalize = [&](const Partition& p) {
+    const uint64_t id = next_id++;
+    for (uint32_t m : p.members) out[m] = id;
+  };
+
+  while (!work.empty()) {
+    Partition part = std::move(work.back());
+    work.pop_back();
+    if (part.members.empty()) continue;
+    const size_t len = tokens[part.members[0]].size();
+    if (len == 0 || part.stage >= 4 ||
+        part.members.size() <=
+            static_cast<size_t>(options_.partition_support) ||
+        ConstantRatio(tokens, part.members) >= options_.cluster_goodness) {
+      finalize(part);
+      continue;
+    }
+
+    if (part.stage == 2) {
+      // Split by the position with the fewest (>1) distinct tokens.
+      size_t best_pos = len;
+      size_t best_distinct = SIZE_MAX;
+      for (size_t p = 0; p < len; ++p) {
+        const size_t d = DistinctAt(tokens, part.members, p);
+        if (d > 1 && d < best_distinct) {
+          best_distinct = d;
+          best_pos = p;
+        }
+      }
+      if (best_pos == len ||
+          best_distinct > part.members.size() / 2) {
+        // No useful position (all constant or near-unique values).
+        finalize(part);
+        continue;
+      }
+      std::unordered_map<std::string_view, Partition> split;
+      for (uint32_t m : part.members) {
+        auto& child = split[tokens[m][best_pos]];
+        child.members.push_back(m);
+        child.stage = 3;
+      }
+      for (auto& [tok, child] : split) work.push_back(std::move(child));
+      continue;
+    }
+
+    // Stage 3 (simplified bijection search): take the two unresolved
+    // positions with the lowest cardinality; if their value pairs are a
+    // near-bijection (pair count close to the max side), split on pairs.
+    std::vector<std::pair<size_t, size_t>> cards;  // (distinct, pos)
+    for (size_t p = 0; p < len; ++p) {
+      const size_t d = DistinctAt(tokens, part.members, p);
+      if (d > 1) cards.push_back({d, p});
+    }
+    std::sort(cards.begin(), cards.end());
+    if (cards.size() < 2) {
+      finalize(part);
+      continue;
+    }
+    const size_t p1 = cards[0].second;
+    const size_t p2 = cards[1].second;
+    std::unordered_set<std::string> pairs;
+    for (uint32_t m : part.members) {
+      pairs.insert(std::string(tokens[m][p1]) + '\x1f' +
+                   std::string(tokens[m][p2]));
+    }
+    const size_t max_side = std::max(cards[0].first, cards[1].first);
+    if (pairs.size() <= max_side + max_side / 4 &&
+        pairs.size() < part.members.size() / 2) {
+      std::unordered_map<std::string, Partition> split;
+      for (uint32_t m : part.members) {
+        auto& child = split[std::string(tokens[m][p1]) + '\x1f' +
+                            std::string(tokens[m][p2])];
+        child.members.push_back(m);
+        child.stage = 4;
+      }
+      for (auto& [k, child] : split) work.push_back(std::move(child));
+    } else {
+      finalize(part);
+    }
+  }
+  return out;
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,34 @@
+// IPLoM (Makanju et al., KDD 2009): Iterative Partitioning Log Mining.
+// Partitions the batch hierarchically: (1) by token count, (2) by the
+// token at the position with the fewest distinct values, (3) by the
+// mapping relation between the two most strongly related positions
+// (simplified here to a joint split on the two lowest-cardinality
+// unresolved positions when their value pairs form a near-bijection).
+// Partitions whose constant-position ratio reaches the cluster-goodness
+// threshold stop splitting and become templates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace bytebrain {
+
+struct IplomOptions {
+  double cluster_goodness = 0.55;  // constant-ratio to stop splitting
+  double partition_support = 4.0;  // min logs to keep splitting
+};
+
+class IplomParser : public LogParserInterface {
+ public:
+  explicit IplomParser(IplomOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "IPLoM"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+
+ private:
+  IplomOptions options_;
+};
+
+}  // namespace bytebrain

@@ -1,0 +1,71 @@
+#include "baselines/lenma.h"
+
+#include <cmath>
+
+namespace bytebrain {
+
+namespace {
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<size_t>& b) {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * static_cast<double>(b[i]);
+    na += a[i] * a[i];
+    nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+}  // namespace
+
+std::vector<uint64_t> LenmaParser::Parse(const std::vector<std::string>& logs) {
+  auto token_lists = PreprocessTokens(logs);
+  std::vector<uint64_t> out(logs.size(), 0);
+  std::vector<size_t> lengths;
+  for (size_t li = 0; li < token_lists.size(); ++li) {
+    const auto& tokens = token_lists[li];
+    lengths.clear();
+    lengths.reserve(tokens.size());
+    for (const auto& t : tokens) lengths.push_back(t.size());
+
+    auto& bucket = buckets_[tokens.size()];
+    Cluster* best = nullptr;
+    double best_sim = 0.0;
+    for (Cluster& c : bucket) {
+      const double sim = CosineSimilarity(c.lengths, lengths);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = &c;
+      }
+    }
+    if (best != nullptr && best_sim >= threshold_) {
+      // Join: update running mean lengths and wildcard mismatches.
+      const double w = static_cast<double>(best->count);
+      for (size_t i = 0; i < lengths.size(); ++i) {
+        best->lengths[i] =
+            (best->lengths[i] * w + static_cast<double>(lengths[i])) /
+            (w + 1.0);
+        if (best->tokens[i] != tokens[i]) {
+          best->tokens[i] = std::string(kBaselineWildcard);
+        }
+      }
+      ++best->count;
+      out[li] = best->id;
+    } else {
+      Cluster c;
+      c.lengths.assign(lengths.begin(), lengths.end());
+      c.tokens = tokens;
+      c.id = next_id_++;
+      c.count = 1;
+      bucket.push_back(std::move(c));
+      out[li] = bucket.back().id;
+    }
+  }
+  return out;
+}
+
+}  // namespace bytebrain

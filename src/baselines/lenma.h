@@ -1,0 +1,36 @@
+// LenMa (Shima, 2016): clustering by word-length vectors. Each template
+// in a token-count bucket keeps the vector of its tokens' character
+// lengths; a log joins the template with the highest cosine similarity
+// between length vectors (>= threshold, with exact-token positional
+// agreement as a secondary check), else it opens a new cluster.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace bytebrain {
+
+class LenmaParser : public LogParserInterface {
+ public:
+  explicit LenmaParser(double threshold = 0.98) : threshold_(threshold) {}
+
+  std::string name() const override { return "LenMa"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+
+ private:
+  struct Cluster {
+    std::vector<double> lengths;       // running mean of word lengths
+    std::vector<std::string> tokens;   // template with wildcards
+    uint64_t id;
+    uint64_t count;
+  };
+
+  double threshold_;
+  std::unordered_map<size_t, std::vector<Cluster>> buckets_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace bytebrain

@@ -1,0 +1,201 @@
+#include "baselines/logsig_logmine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hashing.h"
+#include "util/rng.h"
+
+namespace bytebrain {
+
+// ---------------------------------------------------------------------------
+// LogSig
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Ordered token-pair signature of one log (hashed pairs).
+std::vector<uint64_t> PairSignature(const std::vector<std::string>& tokens) {
+  std::vector<uint64_t> pairs;
+  const size_t n = tokens.size();
+  pairs.reserve(n * (n - 1) / 2);
+  std::vector<uint64_t> hashes(n);
+  for (size_t i = 0; i < n; ++i) hashes[i] = HashToken(tokens[i]);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      pairs.push_back(HashCombine(hashes[i], hashes[j]));
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+std::vector<uint64_t> LogSigParser::Parse(const std::vector<std::string>& logs) {
+  auto token_lists = PreprocessTokens(logs);
+  const size_t n = token_lists.size();
+  std::vector<uint64_t> out(n, 0);
+  if (n == 0) return out;
+
+  // LogSig is quadratic-ish in practice; bound the local-search set and
+  // assign the rest in one final pass (the paper reports LogSig failing
+  // to finish on large datasets — the cap keeps our harness bounded).
+  constexpr size_t kMaxSearchLogs = 20000;
+  const size_t search_n = std::min(n, kMaxSearchLogs);
+
+  std::vector<std::vector<uint64_t>> signatures(n);
+  for (size_t i = 0; i < n; ++i) signatures[i] = PairSignature(token_lists[i]);
+
+  Rng rng(seed_);
+  std::vector<uint32_t> group(n, 0);
+  for (size_t i = 0; i < search_n; ++i) {
+    group[i] = static_cast<uint32_t>(rng.NextBelow(k_));
+  }
+
+  // Per-group pair frequency maps.
+  std::vector<std::unordered_map<uint64_t, uint32_t>> freq(k_);
+  std::vector<uint32_t> sizes(k_, 0);
+  for (size_t i = 0; i < search_n; ++i) {
+    for (uint64_t p : signatures[i]) freq[group[i]][p]++;
+    sizes[group[i]]++;
+  }
+
+  auto score = [&](size_t log, uint32_t g) {
+    if (sizes[g] == 0) return 0.0;
+    double s = 0.0;
+    const auto& f = freq[g];
+    for (uint64_t p : signatures[log]) {
+      auto it = f.find(p);
+      if (it != f.end()) {
+        const double ratio =
+            static_cast<double>(it->second) / static_cast<double>(sizes[g]);
+        s += ratio * ratio;  // the paper's potential uses squared ratios
+      }
+    }
+    return s;
+  };
+
+  for (int iter = 0; iter < iterations_; ++iter) {
+    bool moved = false;
+    for (size_t i = 0; i < search_n; ++i) {
+      uint32_t best_g = group[i];
+      double best_score = score(i, best_g);
+      for (uint32_t g = 0; g < k_; ++g) {
+        if (g == group[i]) continue;
+        const double s = score(i, g);
+        if (s > best_score) {
+          best_score = s;
+          best_g = g;
+        }
+      }
+      if (best_g != group[i]) {
+        for (uint64_t p : signatures[i]) {
+          freq[group[i]][p]--;
+          freq[best_g][p]++;
+        }
+        sizes[group[i]]--;
+        sizes[best_g]++;
+        group[i] = best_g;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  // Assign any logs beyond the search cap to their best group.
+  for (size_t i = search_n; i < n; ++i) {
+    uint32_t best_g = 0;
+    double best_score = -1.0;
+    for (uint32_t g = 0; g < k_; ++g) {
+      const double s = score(i, g);
+      if (s > best_score) {
+        best_score = s;
+        best_g = g;
+      }
+    }
+    group[i] = best_g;
+  }
+
+  for (size_t i = 0; i < n; ++i) out[i] = group[i] + 1;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LogMine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Normalized positional distance between equal-length token rows; rows of
+// different lengths are maximally distant.
+double LogMineDistance(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  if (a.size() != b.size()) return 1.0;
+  if (a.empty()) return 0.0;
+  size_t same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++same;
+  }
+  return 1.0 - static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+}  // namespace
+
+std::vector<uint64_t> LogMineParser::Parse(const std::vector<std::string>& logs) {
+  auto token_lists = PreprocessTokens(logs);
+  const size_t n = token_lists.size();
+  std::vector<uint64_t> out(n, 0);
+
+  // Level 0: exact dedup.
+  std::unordered_map<std::string, uint32_t> distinct_index;
+  std::vector<uint32_t> rep_of(n);
+  std::vector<uint32_t> distinct;  // representative log index
+  for (uint32_t i = 0; i < n; ++i) {
+    auto [it, inserted] = distinct_index.emplace(
+        JoinKey(token_lists[i]), static_cast<uint32_t>(distinct.size()));
+    if (inserted) distinct.push_back(i);
+    rep_of[i] = it->second;
+  }
+
+  // Level 1: greedy leader clustering over distinct logs. The paper
+  // reports LogMine failing on large corpora; bound the leader set.
+  constexpr size_t kMaxLeaders = 6000;
+  struct ClusterRep {
+    std::vector<std::string> pattern;
+    uint64_t id;
+  };
+  std::vector<ClusterRep> leaders;
+  std::vector<uint64_t> cluster_of_distinct(distinct.size(), 0);
+  uint64_t next_id = 1;
+  for (size_t d = 0; d < distinct.size(); ++d) {
+    const auto& tokens = token_lists[distinct[d]];
+    ClusterRep* best = nullptr;
+    double best_dist = max_distance_;
+    for (ClusterRep& leader : leaders) {
+      const double dist = LogMineDistance(leader.pattern, tokens);
+      if (dist <= best_dist) {
+        best_dist = dist;
+        best = &leader;
+      }
+    }
+    if (best != nullptr) {
+      // Pattern generation: wildcard mismatching positions.
+      for (size_t p = 0; p < tokens.size(); ++p) {
+        if (best->pattern[p] != tokens[p]) {
+          best->pattern[p] = std::string(kBaselineWildcard);
+        }
+      }
+      cluster_of_distinct[d] = best->id;
+    } else if (leaders.size() < kMaxLeaders) {
+      leaders.push_back({tokens, next_id++});
+      cluster_of_distinct[d] = leaders.back().id;
+    } else {
+      cluster_of_distinct[d] = next_id++;  // overflow: own cluster
+    }
+  }
+
+  for (uint32_t i = 0; i < n; ++i) out[i] = cluster_of_distinct[rep_of[i]];
+  return out;
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,48 @@
+// Search/clustering baselines:
+//
+//  * LogSig (Tang et al., CIKM 2011): partitions logs into a REQUIRED
+//    number k of categories by local search over ordered token-pair
+//    signatures — each log moves to the group where its pairs are most
+//    over-represented. The paper highlights its need for a precise k.
+//  * LogMine (Hamooni et al., CIKM 2016): level-wise friends-of-friends
+//    clustering — greedy leader clustering under a normalized token
+//    distance, then pattern generation by wildcarding mismatches. Its
+//    iterative merge cost is the paper's example of clustering overhead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace bytebrain {
+
+class LogSigParser : public LogParserInterface {
+ public:
+  /// `k`: number of categories (LogSig must be told; the harness passes
+  /// the dataset's ground-truth template count, as the toolkit does).
+  explicit LogSigParser(size_t k, int iterations = 5, uint64_t seed = 17)
+      : k_(std::max<size_t>(1, k)), iterations_(iterations), seed_(seed) {}
+
+  std::string name() const override { return "LogSig"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+
+ private:
+  size_t k_;
+  int iterations_;
+  uint64_t seed_;
+};
+
+class LogMineParser : public LogParserInterface {
+ public:
+  explicit LogMineParser(double max_distance = 0.3)
+      : max_distance_(max_distance) {}
+
+  std::string name() const override { return "LogMine"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+
+ private:
+  double max_distance_;
+};
+
+}  // namespace bytebrain

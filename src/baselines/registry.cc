@@ -1,0 +1,53 @@
+#include "baselines/registry.h"
+
+#include "baselines/ael.h"
+#include "baselines/drain.h"
+#include "baselines/frequency_parsers.h"
+#include "baselines/iplom.h"
+#include "baselines/lenma.h"
+#include "baselines/logsig_logmine.h"
+#include "baselines/semantic_oracle.h"
+#include "baselines/shiso_molfi.h"
+#include "baselines/spell.h"
+
+namespace bytebrain {
+
+std::vector<std::unique_ptr<LogParserInterface>> MakeSyntaxBaselines(
+    const BaselineHints& hints) {
+  std::vector<std::unique_ptr<LogParserInterface>> out;
+  out.push_back(std::make_unique<AelParser>());
+  out.push_back(std::make_unique<DrainParser>());
+  out.push_back(std::make_unique<IplomParser>());
+  out.push_back(std::make_unique<LenmaParser>());
+  out.push_back(std::make_unique<LfaParser>());
+  out.push_back(std::make_unique<LogClusterParser>());
+  out.push_back(std::make_unique<LogMineParser>());
+  out.push_back(std::make_unique<LogramParser>());
+  out.push_back(std::make_unique<LogSigParser>(hints.expected_templates));
+  out.push_back(std::make_unique<MolfiParser>());
+  out.push_back(std::make_unique<ShisoParser>());
+  out.push_back(std::make_unique<SlctParser>());
+  out.push_back(std::make_unique<SpellParser>());
+  return out;
+}
+
+std::vector<std::unique_ptr<LogParserInterface>> MakeSemanticBaselines(
+    const BaselineHints& hints) {
+  std::vector<std::unique_ptr<LogParserInterface>> out;
+  out.push_back(std::make_unique<SemanticOracleParser>(UniParserConfig(),
+                                                       hints.gt_labels));
+  out.push_back(
+      std::make_unique<SemanticOracleParser>(LogPptConfig(), hints.gt_labels));
+  out.push_back(
+      std::make_unique<SemanticOracleParser>(LilacConfig(), hints.gt_labels));
+  return out;
+}
+
+std::vector<std::unique_ptr<LogParserInterface>> MakeAllBaselines(
+    const BaselineHints& hints) {
+  auto out = MakeSyntaxBaselines(hints);
+  for (auto& p : MakeSemanticBaselines(hints)) out.push_back(std::move(p));
+  return out;
+}
+
+}  // namespace bytebrain

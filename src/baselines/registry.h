@@ -1,0 +1,32 @@
+// Registry of every parser in the paper's comparison (§5.1.2), used by
+// the benches to iterate "all methods" uniformly.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "eval/parser_interface.h"
+
+namespace bytebrain {
+
+/// Per-dataset information some baselines legitimately receive:
+/// LogSig needs the category count; the semantic-oracle stand-ins need
+/// the ground-truth labels (see DESIGN.md on the substitution).
+struct BaselineHints {
+  size_t expected_templates = 50;
+  std::vector<uint32_t> gt_labels;
+};
+
+/// All syntax-based baselines (no ByteBrain, no semantic stand-ins).
+std::vector<std::unique_ptr<LogParserInterface>> MakeSyntaxBaselines(
+    const BaselineHints& hints);
+
+/// The semantic/LLM stand-ins (UniParser, LogPPT, LILAC).
+std::vector<std::unique_ptr<LogParserInterface>> MakeSemanticBaselines(
+    const BaselineHints& hints);
+
+/// Everything in Table 2/3 order (baselines first, no ByteBrain).
+std::vector<std::unique_ptr<LogParserInterface>> MakeAllBaselines(
+    const BaselineHints& hints);
+
+}  // namespace bytebrain

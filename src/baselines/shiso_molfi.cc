@@ -1,0 +1,221 @@
+#include "baselines/shiso_molfi.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace bytebrain {
+
+// ---------------------------------------------------------------------------
+// SHISO
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Character-class vector of a token: counts of [lower, upper, digit, other].
+std::array<double, 4> CharClassVector(std::string_view token) {
+  std::array<double, 4> v{0, 0, 0, 0};
+  for (char c : token) {
+    if (c >= 'a' && c <= 'z') {
+      v[0] += 1;
+    } else if (c >= 'A' && c <= 'Z') {
+      v[1] += 1;
+    } else if (c >= '0' && c <= '9') {
+      v[2] += 1;
+    } else {
+      v[3] += 1;
+    }
+  }
+  double norm = 0.0;
+  for (double x : v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (double& x : v) x /= norm;
+  }
+  return v;
+}
+
+// SHISO word distance: 0 for equal words, else half the Euclidean
+// distance of the char-class vectors (in [0, 1]). Wildcard positions
+// carry a small residual cost so heavily-generalized formats do not
+// become universal attractors that swallow every log of their length.
+double WordDistance(const std::string& a, const std::string& b) {
+  if (a == b) return 0.0;
+  if (a == kBaselineWildcard || b == kBaselineWildcard) return 0.25;
+  const auto va = CharClassVector(a);
+  const auto vb = CharClassVector(b);
+  double d = 0.0;
+  for (size_t i = 0; i < 4; ++i) d += (va[i] - vb[i]) * (va[i] - vb[i]);
+  return std::sqrt(d) / 2.0;
+}
+
+double FormatDistance(const std::vector<std::string>& format,
+                      const std::vector<std::string>& tokens) {
+  if (format.size() != tokens.size()) return 1.0;
+  if (format.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < format.size(); ++i) {
+    sum += WordDistance(format[i], tokens[i]);
+  }
+  return sum / static_cast<double>(format.size());
+}
+
+}  // namespace
+
+std::vector<uint64_t> ShisoParser::Parse(const std::vector<std::string>& logs) {
+  auto token_lists = PreprocessTokens(logs);
+  std::vector<uint64_t> out(logs.size(), 0);
+  for (size_t li = 0; li < token_lists.size(); ++li) {
+    const auto& tokens = token_lists[li];
+    std::vector<std::unique_ptr<Node>>* level = &roots_;
+    Node* chosen = nullptr;
+    // Descend: at each level pick the closest node; merge if close
+    // enough, else insert here (when space) or continue into the closest
+    // child's subtree.
+    while (true) {
+      Node* best = nullptr;
+      double best_dist = 2.0;
+      for (auto& node : *level) {
+        const double d = FormatDistance(node->format, tokens);
+        if (d < best_dist) {
+          best_dist = d;
+          best = node.get();
+        }
+      }
+      if (best != nullptr && best_dist <= merge_threshold_) {
+        // Merge: wildcard mismatching positions.
+        for (size_t p = 0; p < tokens.size(); ++p) {
+          if (best->format[p] != tokens[p]) {
+            best->format[p] = std::string(kBaselineWildcard);
+          }
+        }
+        chosen = best;
+        break;
+      }
+      if (static_cast<int>(level->size()) < max_children_) {
+        auto node = std::make_unique<Node>();
+        node->format = tokens;
+        node->id = next_id_++;
+        chosen = node.get();
+        level->push_back(std::move(node));
+        break;
+      }
+      // No space: descend into the closest subtree.
+      level = &best->children;
+    }
+    out[li] = chosen->id;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MoLFI (simplified evolutionary search)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Chromosome {
+  // One wildcard mask per template; a mask bit set = position is "*".
+  std::vector<uint64_t> masks;
+};
+
+}  // namespace
+
+std::vector<uint64_t> MolfiParser::Parse(const std::vector<std::string>& logs) {
+  auto token_lists = PreprocessTokens(logs);
+  const size_t n = token_lists.size();
+  std::vector<uint64_t> out(n, 0);
+  Rng rng(seed_);
+
+  // Group by token count; search templates independently per group.
+  std::unordered_map<size_t, std::vector<uint32_t>> by_len;
+  for (uint32_t i = 0; i < n; ++i) by_len[token_lists[i].size()].push_back(i);
+
+  uint64_t base_id = 1;
+  for (auto& [len, members] : by_len) {
+    if (len == 0 || len > 63 || members.size() == 1) {
+      for (uint32_t m : members) out[m] = base_id;
+      ++base_id;
+      continue;
+    }
+
+    // Fitness of a mask over the group: (coverage entropy proxy,
+    // specificity). We score a mask by grouping members under it and
+    // combining "few groups" (generality) with "many constant positions"
+    // (specificity) — the two MoLFI objectives scalarized. Fitness is
+    // estimated on a bounded sample so large groups stay tractable.
+    const size_t sample_size = std::min<size_t>(members.size(), 2000);
+    const std::vector<uint32_t> sample(members.begin(),
+                                       members.begin() + sample_size);
+    auto evaluate = [&](uint64_t mask) {
+      std::unordered_map<std::string, uint32_t> groups;
+      for (uint32_t m : sample) {
+        std::string key;
+        for (size_t p = 0; p < len; ++p) {
+          if (mask & (1ULL << p)) {
+            key += '*';
+          } else {
+            key += token_lists[m][p];
+          }
+          key += '\x1f';
+        }
+        groups[key]++;
+      }
+      const double generality =
+          1.0 - static_cast<double>(groups.size()) /
+                    static_cast<double>(sample.size());
+      const double specificity =
+          1.0 - static_cast<double>(__builtin_popcountll(mask)) /
+                    static_cast<double>(len);
+      return 0.5 * generality + 0.5 * specificity;
+    };
+
+    // Initial population: random masks plus the frequency-derived one.
+    std::vector<uint64_t> population;
+    for (int p = 0; p < population_; ++p) {
+      uint64_t mask = 0;
+      for (size_t b = 0; b < len; ++b) {
+        if (rng.NextBelow(3) == 0) mask |= 1ULL << b;
+      }
+      population.push_back(mask);
+    }
+
+    // Evolve: mutate, keep the best.
+    uint64_t best_mask = population[0];
+    double best_fit = evaluate(best_mask);
+    for (int gen = 0; gen < generations_; ++gen) {
+      for (uint64_t& mask : population) {
+        uint64_t mutated = mask ^ (1ULL << rng.NextBelow(len));
+        const double fit = evaluate(mutated);
+        if (fit >= evaluate(mask)) mask = mutated;
+        if (fit > best_fit) {
+          best_fit = fit;
+          best_mask = mutated;
+        }
+      }
+    }
+
+    // Final grouping under the best mask.
+    std::unordered_map<std::string, uint64_t> ids;
+    for (uint32_t m : members) {
+      std::string key;
+      for (size_t p = 0; p < len; ++p) {
+        if (best_mask & (1ULL << p)) {
+          key += '*';
+        } else {
+          key += token_lists[m][p];
+        }
+        key += '\x1f';
+      }
+      auto [it, inserted] = ids.emplace(std::move(key), base_id);
+      if (inserted) ++base_id;
+      out[m] = it->second;
+    }
+  }
+  return out;
+}
+
+}  // namespace bytebrain

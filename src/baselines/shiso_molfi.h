@@ -1,0 +1,58 @@
+// Incremental-tree and search-based baselines:
+//
+//  * SHISO (Mizutani, SCC 2013): incremental mining with a structured
+//    tree. Each node holds a format; new logs descend toward the most
+//    similar child (similarity over per-character class vectors), merging
+//    into a node when close enough, else inserted as a new child subject
+//    to a branching limit.
+//  * MoLFI (Messaoudi et al., ICPC 2018): multi-objective search over
+//    per-length template sets. Implemented as a bounded evolutionary
+//    search (mutation over wildcard masks, frequency-coverage vs
+//    specificity objectives) — a documented simplification of NSGA-II.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace bytebrain {
+
+class ShisoParser : public LogParserInterface {
+ public:
+  explicit ShisoParser(double merge_threshold = 0.1, int max_children = 6)
+      : merge_threshold_(merge_threshold), max_children_(max_children) {}
+
+  std::string name() const override { return "SHISO"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+
+ private:
+  struct Node {
+    std::vector<std::string> format;
+    uint64_t id;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  double merge_threshold_;
+  int max_children_;
+  std::vector<std::unique_ptr<Node>> roots_;
+  uint64_t next_id_ = 1;
+};
+
+class MolfiParser : public LogParserInterface {
+ public:
+  explicit MolfiParser(int generations = 12, int population = 8,
+                       uint64_t seed = 23)
+      : generations_(generations), population_(population), seed_(seed) {}
+
+  std::string name() const override { return "MoLFI"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+
+ private:
+  int generations_;
+  int population_;
+  uint64_t seed_;
+};
+
+}  // namespace bytebrain

@@ -1,0 +1,145 @@
+#include "baselines/spell.h"
+
+#include <algorithm>
+
+namespace bytebrain {
+
+namespace {
+
+// Length of the LCS between a (wildcards skipped) and b.
+size_t LcsLength(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<size_t> prev(m + 1, 0);
+  std::vector<size_t> cur(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    const bool wild = a[i - 1] == kBaselineWildcard;
+    for (size_t j = 1; j <= m; ++j) {
+      if (!wild && a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+// New template: tokens of `b` kept where they participate in the LCS with
+// `a`, wildcard elsewhere (consecutive wildcards collapsed).
+std::vector<std::string> LcsTemplate(const std::vector<std::string>& a,
+                                     const std::vector<std::string>& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<std::vector<uint32_t>> dp(n + 1,
+                                        std::vector<uint32_t>(m + 1, 0));
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] != kBaselineWildcard && a[i - 1] == b[j - 1]) {
+        dp[i][j] = dp[i - 1][j - 1] + 1;
+      } else {
+        dp[i][j] = std::max(dp[i - 1][j], dp[i][j - 1]);
+      }
+    }
+  }
+  // Backtrack, marking the b-positions on the LCS.
+  std::vector<bool> keep(m, false);
+  size_t i = n;
+  size_t j = m;
+  while (i > 0 && j > 0) {
+    if (a[i - 1] != kBaselineWildcard && a[i - 1] == b[j - 1]) {
+      keep[j - 1] = true;
+      --i;
+      --j;
+    } else if (dp[i - 1][j] >= dp[i][j - 1]) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::vector<std::string> out;
+  bool last_wild = false;
+  for (size_t k = 0; k < m; ++k) {
+    if (keep[k]) {
+      out.push_back(b[k]);
+      last_wild = false;
+    } else if (!last_wild) {
+      out.emplace_back(kBaselineWildcard);
+      last_wild = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint64_t> SpellParser::Parse(const std::vector<std::string>& logs) {
+  auto token_lists = PreprocessTokens(logs);
+  std::vector<uint64_t> out(logs.size(), 0);
+  std::vector<uint32_t> hits;
+  for (size_t li = 0; li < token_lists.size(); ++li) {
+    const auto& tokens = token_lists[li];
+    const std::string key = JoinKey(tokens);
+    auto cached = exact_cache_.find(key);
+    if (cached != exact_cache_.end()) {
+      out[li] = objects_[cached->second].id;
+      continue;
+    }
+
+    // Candidate objects sharing enough tokens (prefilter).
+    std::unordered_map<uint32_t, uint32_t> candidate_hits;
+    for (const auto& tok : tokens) {
+      auto it = inverted_.find(tok);
+      if (it == inverted_.end()) continue;
+      for (uint32_t obj : it->second) candidate_hits[obj]++;
+    }
+    const size_t need =
+        static_cast<size_t>(tau_ * static_cast<double>(tokens.size()));
+    uint32_t best_obj = UINT32_MAX;
+    size_t best_lcs = 0;
+    for (const auto& [obj, hit_count] : candidate_hits) {
+      if (hit_count < need) continue;
+      const size_t lcs = LcsLength(objects_[obj].template_tokens, tokens);
+      if (lcs > best_lcs) {
+        best_lcs = lcs;
+        best_obj = obj;
+      }
+    }
+
+    if (best_obj != UINT32_MAX &&
+        static_cast<double>(best_lcs) >=
+            tau_ * static_cast<double>(tokens.size())) {
+      LcsObject& obj = objects_[best_obj];
+      auto merged = LcsTemplate(obj.template_tokens, tokens);
+      if (merged != obj.template_tokens) {
+        obj.template_tokens = std::move(merged);
+        // Template changed: refresh the inverted index for this object.
+        for (const auto& tok : obj.template_tokens) {
+          if (tok == kBaselineWildcard) continue;
+          auto& list = inverted_[tok];
+          if (list.empty() || list.back() != best_obj) {
+            list.push_back(best_obj);
+          }
+        }
+      }
+      out[li] = obj.id;
+      exact_cache_[key] = best_obj;
+      continue;
+    }
+
+    // New object.
+    const uint32_t idx = static_cast<uint32_t>(objects_.size());
+    objects_.push_back({tokens, next_id_++});
+    for (const auto& tok : tokens) {
+      auto& list = inverted_[tok];
+      if (list.empty() || list.back() != idx) list.push_back(idx);
+    }
+    exact_cache_[key] = idx;
+    out[li] = objects_[idx].id;
+  }
+  return out;
+}
+
+}  // namespace bytebrain

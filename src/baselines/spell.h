@@ -1,0 +1,40 @@
+// Spell (Du & Li, ICDM 2016): streaming parsing via Longest Common
+// Subsequence. Each arriving log is compared to existing LCS objects; if
+// the longest LCS covers at least half of the log's tokens the log joins
+// that object and the template shrinks to the LCS (gaps become
+// wildcards); otherwise a new object is created. An inverted token index
+// prunes candidates (standing in for the paper's prefix-tree speedup) and
+// an exact-match cache handles duplicates.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace bytebrain {
+
+class SpellParser : public LogParserInterface {
+ public:
+  /// tau: minimum fraction of the log's tokens the LCS must cover.
+  explicit SpellParser(double tau = 0.5) : tau_(tau) {}
+
+  std::string name() const override { return "Spell"; }
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override;
+
+ private:
+  struct LcsObject {
+    std::vector<std::string> template_tokens;  // with wildcards at gaps
+    uint64_t id;
+  };
+
+  double tau_;
+  std::vector<LcsObject> objects_;
+  // token -> object ids containing it (candidate prefilter).
+  std::unordered_map<std::string, std::vector<uint32_t>> inverted_;
+  std::unordered_map<std::string, uint32_t> exact_cache_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace bytebrain

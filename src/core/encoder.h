@@ -1,0 +1,79 @@
+// Token encoding (paper §4.1.4).
+//
+// Tokens are mapped to 64-bit integers so clustering can compare tokens
+// with integer equality instead of string comparison. ByteBrain uses a
+// deterministic hash (no stored dictionary, offline/online consistent,
+// embarrassingly parallel). The ordinal encoder — which assigns dense ids
+// and must persist a token->id dictionary — is retained for the Fig. 9
+// throughput ablation and the Fig. 10 storage-cost experiment.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/hashing.h"
+
+namespace bytebrain {
+
+enum class EncoderKind { kHash, kOrdinal };
+
+/// Stateless hash encoder: Encode is pure and thread-safe.
+class HashEncoder {
+ public:
+  uint64_t Encode(std::string_view token) const { return HashToken(token); }
+
+  /// No dictionary is stored at all.
+  uint64_t DictionaryBytes() const { return 0; }
+};
+
+/// Ordinal encoder: assigns consecutive ids in first-seen order and keeps
+/// the full token dictionary. Requires serialized access (a mutex) which
+/// also defeats parallel preprocessing — both costs the paper calls out.
+class OrdinalEncoder {
+ public:
+  uint64_t Encode(std::string_view token) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = dict_.find(token);
+    if (it != dict_.end()) return it->second;
+    const uint64_t id = dict_.size() + 1;
+    bytes_ += token.size() + sizeof(uint64_t);
+    dict_.emplace(std::string(token), id);
+    return id;
+  }
+
+  /// Approximate serialized size of the token->id mapping: token bytes
+  /// plus one 64-bit id per entry (what Fig. 10 plots).
+  uint64_t DictionaryBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dict_.size();
+  }
+
+ private:
+  // Transparent lookup so Encode(string_view) avoids a temporary string.
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return static_cast<size_t>(HashToken(s));
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, uint64_t, SvHash, SvEq> dict_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace bytebrain

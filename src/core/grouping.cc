@@ -1,0 +1,32 @@
+#include "core/grouping.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hashing.h"
+
+namespace bytebrain {
+
+std::vector<InitialGroup> InitialGrouping(const std::vector<EncodedLog>& logs,
+                                          int prefix_k) {
+  std::unordered_map<uint64_t, uint32_t> key_to_group;
+  std::vector<InitialGroup> groups;
+  for (uint32_t i = 0; i < logs.size(); ++i) {
+    const EncodedLog& log = logs[i];
+    uint64_t key = Mix64(log.tokens.size());
+    const int k = std::min<int>(prefix_k, static_cast<int>(log.tokens.size()));
+    for (int p = 0; p < k; ++p) {
+      key = HashCombine(key, log.tokens[p]);
+    }
+    auto [it, inserted] =
+        key_to_group.emplace(key, static_cast<uint32_t>(groups.size()));
+    if (inserted) {
+      groups.emplace_back();
+      groups.back().token_count = static_cast<uint32_t>(log.tokens.size());
+    }
+    groups[it->second].members.push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace bytebrain

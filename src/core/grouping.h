@@ -1,0 +1,27 @@
+// Initial grouping (paper §4.2).
+//
+// Before hierarchical clustering, distinct logs are partitioned by simple
+// rules — token count, and optionally the first k tokens — so that logs
+// that cannot share a template are separated up front and groups can be
+// clustered in parallel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/preprocess.h"
+
+namespace bytebrain {
+
+/// One initial group: indices into PreprocessResult::logs.
+struct InitialGroup {
+  std::vector<uint32_t> members;
+  uint32_t token_count = 0;
+};
+
+/// Groups by (token count, first `prefix_k` encoded tokens). prefix_k = 0
+/// (the paper's default) groups by length only.
+std::vector<InitialGroup> InitialGrouping(const std::vector<EncodedLog>& logs,
+                                          int prefix_k);
+
+}  // namespace bytebrain

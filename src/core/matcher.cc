@@ -1,0 +1,115 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+
+#include "core/tokenizer.h"
+#include "threading/thread_pool.h"
+#include "util/hashing.h"
+
+namespace bytebrain {
+
+TemplateMatcher::TemplateMatcher(const TemplateModel& model,
+                                 const VariableReplacer* replacer)
+    : replacer_(replacer) {
+  entries_.reserve(model.size());
+  for (const TreeNode& n : model.nodes()) {
+    entries_.push_back({n.id, n.saturation, n.tokens});
+  }
+  // Descending saturation: the most precise templates are tried first
+  // (§4.8); ties break toward higher support-by-id stability.
+  std::vector<uint32_t> order(entries_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](uint32_t a, uint32_t b) {
+                     return entries_[a].saturation > entries_[b].saturation;
+                   });
+  for (uint32_t idx : order) {
+    const Entry& e = entries_[idx];
+    Bucket& bucket = buckets_[e.tokens.size()];
+    if (!e.tokens.empty() && e.tokens.front() != kWildcard) {
+      bucket.by_first_token[HashToken(e.tokens.front())].push_back(idx);
+    } else {
+      bucket.wildcard_first.push_back(idx);
+    }
+  }
+}
+
+void TemplateMatcher::Insert(const TreeNode& node) {
+  const uint32_t idx = static_cast<uint32_t>(entries_.size());
+  entries_.push_back({node.id, node.saturation, node.tokens});
+  const Entry& e = entries_.back();
+  Bucket& bucket = buckets_[e.tokens.size()];
+  std::vector<uint32_t>* list;
+  if (!e.tokens.empty() && e.tokens.front() != kWildcard) {
+    list = &bucket.by_first_token[HashToken(e.tokens.front())];
+  } else {
+    list = &bucket.wildcard_first;
+  }
+  // Keep the candidate list sorted by descending saturation.
+  auto pos = std::upper_bound(list->begin(), list->end(), idx,
+                              [this](uint32_t a, uint32_t b) {
+                                return entries_[a].saturation >
+                                       entries_[b].saturation;
+                              });
+  list->insert(pos, idx);
+}
+
+bool TemplateMatcher::Matches(
+    const Entry& e, const std::vector<std::string_view>& tokens) const {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = e.tokens[i];
+    if (t != kWildcard && t != tokens[i]) return false;
+  }
+  return true;
+}
+
+TemplateId TemplateMatcher::Match(std::string_view raw_log) const {
+  std::string replaced;
+  replacer_->ReplaceInto(raw_log, &replaced);
+  std::vector<std::string_view> tokens;
+  TokenizeDefaultInto(replaced, &tokens);
+
+  const auto bucket_it = buckets_.find(tokens.size());
+  if (bucket_it == buckets_.end()) return kInvalidTemplateId;
+  const Bucket& bucket = bucket_it->second;
+
+  const std::vector<uint32_t>* keyed = nullptr;
+  if (!tokens.empty()) {
+    const auto it = bucket.by_first_token.find(HashToken(tokens.front()));
+    if (it != bucket.by_first_token.end()) keyed = &it->second;
+  }
+
+  // Both candidate lists are sorted by descending saturation; merge-scan
+  // them so the overall try-order matches the single-list semantics.
+  size_t ki = 0;
+  size_t wi = 0;
+  const size_t kn = keyed != nullptr ? keyed->size() : 0;
+  const size_t wn = bucket.wildcard_first.size();
+  while (ki < kn || wi < wn) {
+    uint32_t idx;
+    if (ki < kn &&
+        (wi >= wn || entries_[(*keyed)[ki]].saturation >=
+                         entries_[bucket.wildcard_first[wi]].saturation)) {
+      idx = (*keyed)[ki++];
+    } else {
+      idx = bucket.wildcard_first[wi++];
+    }
+    if (Matches(entries_[idx], tokens)) return entries_[idx].id;
+  }
+  return kInvalidTemplateId;
+}
+
+std::vector<TemplateId> TemplateMatcher::MatchAll(
+    const std::vector<std::string>& raw_logs, int num_threads) const {
+  std::vector<TemplateId> out(raw_logs.size(), kInvalidTemplateId);
+  ParallelForShards(raw_logs.size(),
+                    static_cast<size_t>(std::max(1, num_threads)),
+                    [&](size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        out[i] = Match(raw_logs[i]);
+                      }
+                    });
+  return out;
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,69 @@
+// Online matching (paper §4.8).
+//
+// Incoming logs are matched directly against template TEXTS — not by
+// re-walking the clustering tree with distance computations — so the
+// model needs no per-node token statistics. Templates are tried in
+// descending saturation order; a log matches a template when every
+// position equals the template token or the template token is the
+// wildcard. Templates are bucketed by token count (a log can only match
+// equal-length templates) and indexed by their first constant token to
+// cut the candidate list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.h"
+#include "core/variable_replacer.h"
+
+namespace bytebrain {
+
+/// Immutable matcher snapshot built from a model. Rebuild after retrain /
+/// merge; cheap relative to training. Thread-safe for concurrent Match.
+class TemplateMatcher {
+ public:
+  /// `replacer` preprocesses incoming logs exactly as training did; it
+  /// must outlive the matcher.
+  TemplateMatcher(const TemplateModel& model,
+                  const VariableReplacer* replacer);
+
+  /// Most precise (highest-saturation) matching template id, or
+  /// kInvalidTemplateId when nothing matches.
+  TemplateId Match(std::string_view raw_log) const;
+
+  /// Match a batch across `num_threads` processing queues (§3 "the system
+  /// distributes matching tasks across multiple processing queues").
+  std::vector<TemplateId> MatchAll(const std::vector<std::string>& raw_logs,
+                                   int num_threads) const;
+
+  /// Adds one template (an adopted temporary, §3) without rebuilding.
+  /// NOT thread-safe against concurrent Match calls; callers serialize.
+  void Insert(const TreeNode& node);
+
+  size_t num_templates() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    TemplateId id;
+    double saturation;
+    std::vector<std::string> tokens;  // kWildcard marks variables
+  };
+  struct Bucket {
+    // Entry indices sorted by descending saturation, split by whether the
+    // first token is constant (indexed) or a wildcard (always tried).
+    std::unordered_map<uint64_t, std::vector<uint32_t>> by_first_token;
+    std::vector<uint32_t> wildcard_first;
+  };
+
+  bool Matches(const Entry& e,
+               const std::vector<std::string_view>& tokens) const;
+
+  std::vector<Entry> entries_;
+  std::unordered_map<size_t, Bucket> buckets_;  // token count -> bucket
+  const VariableReplacer* replacer_;
+};
+
+}  // namespace bytebrain

@@ -1,0 +1,99 @@
+// ByteBrainParser — the library's main entry point.
+//
+// Wraps the full two-phase pipeline of the paper: offline training
+// (preprocess -> initial grouping -> hierarchical clustering) and online
+// matching against template texts, plus incremental retraining with model
+// merge, adoption of unmatched logs as temporary templates, and
+// query-time precision adjustment via the saturation threshold.
+//
+// Typical use:
+//   ByteBrainParser parser(ByteBrainOptions{});
+//   parser.Train(training_logs);
+//   TemplateId leaf = parser.Match("Accepted password for root ...");
+//   TemplateId coarse = parser.ResolveAtThreshold(leaf, 0.5).value();
+//   std::string text = parser.TemplateText(coarse);
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/matcher.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "core/variable_replacer.h"
+#include "util/status.h"
+
+namespace bytebrain {
+
+/// Full configuration for a parser instance.
+struct ByteBrainOptions {
+  TrainerOptions trainer;
+  /// Template-similarity threshold for retrain merges (§3).
+  double merge_similarity = 0.75;
+  /// Use clustering assignments for training logs instead of text
+  /// matching ("w/ naive match" Fig. 8 variant).
+  bool naive_match = false;
+  /// Disable the hand-rolled preprocessing fast paths (the paper's
+  /// "w/o JIT" analogue: same algorithm, scalar reference implementation).
+  bool unoptimized = false;
+};
+
+/// Facade over trainer + model + matcher. Train/Retrain are exclusive
+/// with each other; Match* are safe to call concurrently between them.
+class ByteBrainParser {
+ public:
+  explicit ByteBrainParser(ByteBrainOptions options);
+
+  /// Adds a tenant-defined variable-replacement rule (before Train).
+  Status AddVariableRule(std::string name, std::string_view pattern);
+
+  /// Trains from scratch, replacing any existing model.
+  Status Train(const std::vector<std::string>& logs);
+
+  /// Trains on a new batch and merges into the existing model; temporary
+  /// templates adopted online are dropped and re-learned (§3).
+  Status Retrain(const std::vector<std::string>& logs);
+
+  /// Most precise matching template, or kInvalidTemplateId.
+  TemplateId Match(std::string_view log) const;
+
+  /// Matches a batch across N queues (paper's online parallelism).
+  std::vector<TemplateId> MatchAll(const std::vector<std::string>& logs,
+                                   int num_threads) const;
+
+  /// Like Match, but a miss inserts the log itself as a temporary
+  /// template and returns its new id (§3 "Online Matching").
+  TemplateId MatchOrAdopt(std::string_view log);
+
+  /// Query-time precision adjustment (§3 "Query").
+  Result<TemplateId> ResolveAtThreshold(TemplateId id,
+                                        double threshold) const;
+
+  std::string TemplateText(TemplateId id) const;
+  std::string MergedWildcardText(TemplateId id) const;
+
+  const TemplateModel& model() const { return model_; }
+  const std::vector<TemplateId>& training_assignments() const {
+    return training_assignments_;
+  }
+  const ByteBrainOptions& options() const { return options_; }
+  const TrainOutput& last_train_output() const { return last_output_; }
+
+  /// Serialized model bytes (Table 5's "Model Size").
+  uint64_t ModelBytes() const { return model_.ApproxBytes(); }
+
+ private:
+  void RebuildMatcher();
+
+  ByteBrainOptions options_;
+  VariableReplacer replacer_;
+  TemplateModel model_;
+  std::unique_ptr<TemplateMatcher> matcher_;
+  std::vector<TemplateId> training_assignments_;
+  TrainOutput last_output_;
+  std::mutex adopt_mu_;
+};
+
+}  // namespace bytebrain

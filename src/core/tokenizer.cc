@@ -1,0 +1,100 @@
+#include "core/tokenizer.h"
+
+#include <array>
+
+namespace bytebrain {
+
+namespace {
+
+// Delimiter-character lookup table for the Listing-1 class
+// [\s\'\";=()\[\]{}?@&<>:\n\t\r,].
+constexpr std::array<bool, 256> BuildDelimTable() {
+  std::array<bool, 256> t{};
+  for (char c : {' ', '\t', '\n', '\r', '\f', '\v', '\'', '"', ';', '=', '(',
+                 ')', '[', ']', '{', '}', '?', '@', '&', '<', '>', ':', ','}) {
+    t[static_cast<uint8_t>(c)] = true;
+  }
+  return t;
+}
+
+constexpr std::array<bool, 256> kIsDelim = BuildDelimTable();
+
+constexpr bool IsSpaceChar(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+// Returns the length of the delimiter unit starting at `i`, or 0 if the
+// character belongs to a token.
+inline size_t DelimLenAt(std::string_view s, size_t i) {
+  const char c = s[i];
+  if (c == ':' && i + 2 < s.size() && s[i + 1] == '/' && s[i + 2] == '/') {
+    return 3;  // URL protocol separator "://"
+  }
+  if (kIsDelim[static_cast<uint8_t>(c)]) return 1;
+  if (c == '.') {
+    // Sentence-ending period: consumed only before whitespace or EOL,
+    // preserving periods inside numbers and identifiers.
+    if (i + 1 == s.size() || IsSpaceChar(s[i + 1])) return 1;
+    return 0;
+  }
+  if (c == '\\' && i + 1 < s.size() &&
+      (s[i + 1] == '"' || s[i + 1] == '\'')) {
+    return 2;  // escaped quote
+  }
+  return 0;
+}
+
+}  // namespace
+
+void TokenizeDefaultInto(std::string_view log,
+                         std::vector<std::string_view>* out) {
+  const size_t n = log.size();
+  size_t i = 0;
+  size_t token_start = 0;
+  bool in_token = false;
+  while (i < n) {
+    const size_t dl = DelimLenAt(log, i);
+    if (dl > 0) {
+      if (in_token) {
+        out->push_back(log.substr(token_start, i - token_start));
+        in_token = false;
+      }
+      i += dl;
+    } else {
+      if (!in_token) {
+        token_start = i;
+        in_token = true;
+      }
+      ++i;
+    }
+  }
+  if (in_token) out->push_back(log.substr(token_start));
+}
+
+std::vector<std::string_view> TokenizeDefault(std::string_view log) {
+  std::vector<std::string_view> out;
+  TokenizeDefaultInto(log, &out);
+  return out;
+}
+
+Result<RegexTokenizer> RegexTokenizer::Create(
+    std::string_view delimiter_pattern) {
+  auto re = Regex::Compile(delimiter_pattern);
+  if (!re.ok()) return re.status();
+  return RegexTokenizer(std::move(re).value());
+}
+
+std::vector<std::string_view> RegexTokenizer::Tokenize(
+    std::string_view log) const {
+  std::vector<std::string_view> out;
+  size_t last = 0;
+  for (const RegexMatch& m : regex_.FindAll(log)) {
+    if (m.begin > last) out.push_back(log.substr(last, m.begin - last));
+    last = m.end;
+  }
+  if (last < log.size()) out.push_back(log.substr(last));
+  return out;
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,57 @@
+// Tokenization (paper §4.1.1).
+//
+// The default tokenizer implements the paper's Listing-1 regular
+// expression as a hand-rolled scanner:
+//
+//   (?:://)|(?:(?:[\s\'\";=()\[\]{}?@&<>:\n\t\r,])|(?:[\.](\s+|$))|(?:\\[\"\']))+
+//
+// i.e. it splits on (a) the URL protocol separator "://", (b) common
+// delimiter characters, (c) sentence-ending periods (a '.' followed by
+// whitespace or end-of-line, so periods inside numbers survive), and
+// (d) escaped quotes. Empty tokens are dropped.
+//
+// A regex-engine-backed tokenizer is also provided for user-defined
+// per-topic rules; the scanner and the engine are differential-tested.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "regex/regex.h"
+#include "util/status.h"
+
+namespace bytebrain {
+
+/// The paper's Listing-1 pattern, usable with the regex engine.
+inline constexpr std::string_view kDefaultTokenizerPattern =
+    "(?:://)|(?:(?:[\\s'\";=()\\[\\]{}?@&<>:\\n\\t\\r,])|"
+    "(?:\\.(\\s+|$))|(?:\\\\[\"']))+";
+
+/// Splits `log` with the default delimiter rules. Returned views alias
+/// `log` and are invalidated when it is freed. Empty tokens are dropped.
+std::vector<std::string_view> TokenizeDefault(std::string_view log);
+
+/// Appends tokens to `*out` instead of allocating a fresh vector; the hot
+/// path for preprocessing (clear + reuse the buffer between logs).
+void TokenizeDefaultInto(std::string_view log,
+                         std::vector<std::string_view>* out);
+
+/// Tokenizer driven by a user-supplied delimiter regex: every match of
+/// `delimiter` is a separator. Used for tenant-specific tokenization
+/// rules; slower than the scanner but fully customizable.
+class RegexTokenizer {
+ public:
+  /// Compiles the delimiter pattern; rejects lookaround (NotSupported).
+  static Result<RegexTokenizer> Create(std::string_view delimiter_pattern);
+
+  std::vector<std::string_view> Tokenize(std::string_view log) const;
+
+  const Regex& regex() const { return regex_; }
+
+ private:
+  explicit RegexTokenizer(Regex regex) : regex_(std::move(regex)) {}
+  Regex regex_;
+};
+
+}  // namespace bytebrain

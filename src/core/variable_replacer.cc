@@ -1,0 +1,302 @@
+#include "core/variable_replacer.h"
+
+#include <cctype>
+
+namespace bytebrain {
+
+namespace {
+
+inline bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+inline bool IsHex(char c) {
+  return IsDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+inline bool IsWordChar(char c) {
+  return IsDigit(c) || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         c == '_';
+}
+
+// How many consecutive digits start at text[i].
+inline size_t DigitRun(std::string_view text, size_t i) {
+  size_t n = 0;
+  while (i + n < text.size() && IsDigit(text[i + n])) ++n;
+  return n;
+}
+
+inline size_t HexRun(std::string_view text, size_t i) {
+  size_t n = 0;
+  while (i + n < text.size() && IsHex(text[i + n])) ++n;
+  return n;
+}
+
+// "2026-06-10 12:30:00,123" / "2026-06-10T12:30:00.123" / bare date.
+size_t MatchIsoTimestamp(std::string_view t, size_t i) {
+  if (DigitRun(t, i) != 4) return 0;
+  size_t p = i + 4;
+  if (p >= t.size() || (t[p] != '-' && t[p] != '/' && t[p] != '.')) return 0;
+  const char sep = t[p];
+  ++p;
+  if (DigitRun(t, p) != 2) return 0;
+  p += 2;
+  if (p >= t.size() || t[p] != sep) return 0;
+  ++p;
+  if (DigitRun(t, p) != 2) return 0;
+  p += 2;
+  // Optional time part.
+  if (p < t.size() && (t[p] == ' ' || t[p] == 'T')) {
+    size_t q = p + 1;
+    if (DigitRun(t, q) == 2 && q + 2 < t.size() && t[q + 2] == ':' &&
+        DigitRun(t, q + 3) == 2 && q + 5 < t.size() && t[q + 5] == ':' &&
+        DigitRun(t, q + 6) == 2) {
+      q += 8;
+      // Optional fractional part ",123" or ".123456".
+      if (q < t.size() && (t[q] == ',' || t[q] == '.')) {
+        const size_t frac = DigitRun(t, q + 1);
+        if (frac > 0) q += 1 + frac;
+      }
+      return q - i;
+    }
+  }
+  return p - i;
+}
+
+// Syslog-style date: "Jun 10" / "Jun  3" (month name + day). The clock
+// component that usually follows is caught by MatchClockTime.
+size_t MatchSyslogDate(std::string_view t, size_t i) {
+  static constexpr std::string_view kMonths[] = {
+      "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+      "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  if (i + 3 > t.size()) return 0;
+  const std::string_view m3 = t.substr(i, 3);
+  bool is_month = false;
+  for (std::string_view m : kMonths) {
+    if (m3 == m) {
+      is_month = true;
+      break;
+    }
+  }
+  if (!is_month) return 0;
+  size_t p = i + 3;
+  size_t spaces = 0;
+  while (p < t.size() && t[p] == ' ' && spaces < 2) {
+    ++p;
+    ++spaces;
+  }
+  if (spaces == 0) return 0;
+  const size_t d = DigitRun(t, p);
+  if (d < 1 || d > 2) return 0;
+  return p + d - i;
+}
+
+// "12:30:00" or "12:30:00.123".
+size_t MatchClockTime(std::string_view t, size_t i) {
+  if (DigitRun(t, i) != 2) return 0;
+  if (i + 2 >= t.size() || t[i + 2] != ':') return 0;
+  if (DigitRun(t, i + 3) != 2) return 0;
+  if (i + 5 >= t.size() || t[i + 5] != ':') return 0;
+  if (DigitRun(t, i + 6) != 2) return 0;
+  size_t p = i + 8;
+  if (p < t.size() && (t[p] == '.' || t[p] == ',')) {
+    const size_t frac = DigitRun(t, p + 1);
+    if (frac > 0) p += 1 + frac;
+  }
+  return p - i;
+}
+
+// "10.0.4.18" with optional ":50010". Octets are 1-3 digits.
+size_t MatchIpv4(std::string_view t, size_t i) {
+  size_t p = i;
+  for (int octet = 0; octet < 4; ++octet) {
+    const size_t d = DigitRun(t, p);
+    if (d < 1 || d > 3) return 0;
+    p += d;
+    if (octet < 3) {
+      if (p >= t.size() || t[p] != '.') return 0;
+      ++p;
+    }
+  }
+  // Must not continue with ".digit" (would be a dotted version string).
+  if (p < t.size() && t[p] == '.' && p + 1 < t.size() && IsDigit(t[p + 1])) {
+    return 0;
+  }
+  // Optional ":port".
+  if (p < t.size() && t[p] == ':') {
+    const size_t d = DigitRun(t, p + 1);
+    if (d >= 1 && d <= 5) p += 1 + d;
+  }
+  return p - i;
+}
+
+// "123e4567-e89b-12d3-a456-426614174000" (8-4-4-4-12 hex).
+size_t MatchUuid(std::string_view t, size_t i) {
+  static constexpr size_t kGroups[] = {8, 4, 4, 4, 12};
+  size_t p = i;
+  for (size_t g = 0; g < 5; ++g) {
+    size_t run = 0;
+    while (p + run < t.size() && IsHex(t[p + run])) ++run;
+    if (run != kGroups[g]) return 0;
+    p += run;
+    if (g < 4) {
+      if (p >= t.size() || t[p] != '-') return 0;
+      ++p;
+    }
+  }
+  return p - i;
+}
+
+// Exactly 32 hex chars (an MD5 digest), not embedded in a longer run.
+size_t MatchMd5(std::string_view t, size_t i) {
+  const size_t run = HexRun(t, i);
+  if (run != 32) return 0;
+  return 32;
+}
+
+// "0xdeadbeef".
+size_t MatchHexLiteral(std::string_view t, size_t i) {
+  if (t[i] != '0' || i + 1 >= t.size() || (t[i + 1] != 'x' && t[i + 1] != 'X')) {
+    return 0;
+  }
+  const size_t run = HexRun(t, i + 2);
+  if (run == 0) return 0;
+  return 2 + run;
+}
+
+}  // namespace
+
+size_t MatchBuiltinVariable(std::string_view text, size_t pos) {
+  const char c = text[pos];
+  // Word-boundary on the left: a variable cannot start in the middle of a
+  // word ("abc123" must stay one token).
+  if (pos > 0 && IsWordChar(text[pos - 1])) return 0;
+  size_t len = 0;
+  if (IsDigit(c)) {
+    if ((len = MatchIsoTimestamp(text, pos)) == 0) {
+      if ((len = MatchClockTime(text, pos)) == 0) {
+        if ((len = MatchIpv4(text, pos)) == 0) {
+          len = MatchHexLiteral(text, pos);
+        }
+      }
+    }
+  }
+  if (len == 0 && (c >= 'A' && c <= 'Z')) {
+    len = MatchSyslogDate(text, pos);
+  }
+  if (len == 0 && IsHex(c)) {
+    if ((len = MatchUuid(text, pos)) == 0) {
+      len = MatchMd5(text, pos);
+    }
+  }
+  if (len == 0) return 0;
+  // Word-boundary on the right.
+  if (pos + len < text.size() && IsWordChar(text[pos + len])) return 0;
+  return len;
+}
+
+VariableReplacer VariableReplacer::Default() {
+  VariableReplacer r;
+  r.builtins_enabled_ = true;
+  return r;
+}
+
+VariableReplacer VariableReplacer::None() { return VariableReplacer(); }
+
+Status VariableReplacer::AddRule(std::string name, std::string_view pattern) {
+  auto re = Regex::Compile(pattern);
+  if (!re.ok()) return re.status();
+  user_rules_.push_back({std::move(name), std::move(re).value()});
+  return Status::OK();
+}
+
+void VariableReplacer::set_use_fast_builtins(bool fast) {
+  fast_builtins_ = fast;
+  if (!fast && builtins_enabled_ && builtin_regexes_.empty()) {
+    // Equivalent patterns for the built-in kinds, run on the NFA engine.
+    static constexpr struct {
+      const char* name;
+      const char* pattern;
+    } kPatterns[] = {
+        {"iso_ts",
+         "\\d{4}-\\d{2}-\\d{2}([ T]\\d{2}:\\d{2}:\\d{2}([.,]\\d+)?)?"},
+        {"syslog_date",
+         "(Jan|Feb|Mar|Apr|May|Jun|Jul|Aug|Sep|Oct|Nov|Dec) {1,2}\\d{1,2}"},
+        {"clock", "\\d{2}:\\d{2}:\\d{2}([.,]\\d+)?"},
+        {"ipv4", "\\d{1,3}\\.\\d{1,3}\\.\\d{1,3}\\.\\d{1,3}(:\\d{1,5})?"},
+        {"uuid",
+         "[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-"
+         "[0-9a-fA-F]{12}"},
+        {"md5", "[0-9a-fA-F]{32}"},
+        {"hex", "0[xX][0-9a-fA-F]+"},
+    };
+    for (const auto& p : kPatterns) {
+      auto re = Regex::Compile(p.pattern);
+      // Built-in patterns are static and known-valid.
+      builtin_regexes_.push_back({p.name, std::move(re).value()});
+    }
+  }
+}
+
+void VariableReplacer::ReplaceInto(std::string_view text,
+                                   std::string* out) const {
+  out->clear();
+  if (!builtins_enabled_ && user_rules_.empty()) {
+    out->assign(text);
+    return;
+  }
+  std::string buffer;
+  std::string_view current = text;
+
+  // User rules first (they are more specific by construction), each a full
+  // ReplaceAll pass on the engine.
+  for (const UserRule& rule : user_rules_) {
+    buffer = rule.regex.ReplaceAll(current, kWildcard);
+    std::swap(buffer, *out);
+    current = *out;
+  }
+
+  if (!builtins_enabled_) {
+    if (user_rules_.empty()) out->assign(text);
+    return;
+  }
+
+  if (!fast_builtins_) {
+    std::string tmp(current);
+    for (const UserRule& rule : builtin_regexes_) {
+      tmp = rule.regex.ReplaceAll(tmp, kWildcard);
+    }
+    out->assign(tmp);
+    return;
+  }
+
+  // Fast path: single scan, longest built-in recognizer at each offset.
+  // When no user rule ran, `current` still aliases the input text and the
+  // output buffer is free to be written directly; otherwise `current`
+  // aliases *out and a staging buffer is required.
+  std::string* target = &buffer;
+  if (user_rules_.empty()) {
+    out->clear();
+    target = out;
+  } else {
+    buffer.clear();
+  }
+  target->reserve(current.size());
+  size_t i = 0;
+  const size_t n = current.size();
+  while (i < n) {
+    const size_t len = MatchBuiltinVariable(current, i);
+    if (len > 0) {
+      target->append(kWildcard);
+      i += len;
+    } else {
+      target->push_back(current[i]);
+      ++i;
+    }
+  }
+  if (target != out) out->assign(buffer);
+}
+
+std::string VariableReplacer::Replace(std::string_view text) const {
+  std::string out;
+  ReplaceInto(text, &out);
+  return out;
+}
+
+}  // namespace bytebrain

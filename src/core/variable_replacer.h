@@ -1,0 +1,78 @@
+// Common variable replacement (paper §4.1.2).
+//
+// Known variables (timestamps, IP addresses, MD5 hashes, UUIDs, ...) are
+// replaced with the wildcard token "*" BEFORE tokenization. Early
+// replacement shrinks the distinct-log population (amplifying the
+// deduplication win, Fig. 4) and removes positions the clusterer would
+// otherwise have to learn.
+//
+// Two execution paths:
+//  * built-in recognizers: hand-rolled scanners for the default variable
+//    kinds, one pass over the text (the production fast path);
+//  * user rules: tenant-supplied patterns run on the linear-time regex
+//    engine (the extensible path). The "Unoptimized" ablation variant
+//    forces the default kinds through the regex path as well.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "regex/regex.h"
+#include "util/status.h"
+
+namespace bytebrain {
+
+/// The wildcard token used in templates and replacements.
+inline constexpr std::string_view kWildcard = "*";
+
+/// Replaces default variable kinds and user rules with "*".
+class VariableReplacer {
+ public:
+  /// Replacer with the built-in default rules enabled.
+  static VariableReplacer Default();
+
+  /// Replacer with no rules at all (ablation baseline).
+  static VariableReplacer None();
+
+  /// Adds a user-defined rule; the pattern must compile on the linear-
+  /// time engine (lookaround is rejected with NotSupported).
+  Status AddRule(std::string name, std::string_view pattern);
+
+  /// When false, the built-in kinds are matched with equivalent regex
+  /// rules instead of the hand-rolled scanner ("Unoptimized" variant).
+  void set_use_fast_builtins(bool fast);
+
+  /// Returns `text` with all recognized variables replaced by "*".
+  std::string Replace(std::string_view text) const;
+
+  /// Appends the replaced text to `*out` (cleared first); hot-path
+  /// variant that reuses the output buffer.
+  void ReplaceInto(std::string_view text, std::string* out) const;
+
+  bool has_builtins() const { return builtins_enabled_; }
+  size_t num_user_rules() const { return user_rules_.size(); }
+
+ private:
+  VariableReplacer() = default;
+
+  struct UserRule {
+    std::string name;
+    Regex regex;
+  };
+
+  bool builtins_enabled_ = false;
+  bool fast_builtins_ = true;
+  std::vector<UserRule> user_rules_;
+  // Regex forms of the built-in kinds, compiled lazily when the fast path
+  // is disabled.
+  std::vector<UserRule> builtin_regexes_;
+};
+
+/// Length of the built-in variable starting at text[pos], or 0.
+/// Exposed for unit tests; recognizes ISO timestamps, clock times,
+/// IPv4(:port), UUIDs, MD5 hex digests, and 0x-prefixed hex literals,
+/// each with word-ish boundary checks.
+size_t MatchBuiltinVariable(std::string_view text, size_t pos);
+
+}  // namespace bytebrain

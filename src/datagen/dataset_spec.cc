@@ -1,0 +1,61 @@
+#include "datagen/dataset_spec.h"
+
+#include "util/hashing.h"
+
+namespace bytebrain {
+
+namespace {
+
+std::vector<DatasetSpec> BuildSpecs() {
+  // Table 1 of the paper. LogHub-2.0 log counts are the published ones;
+  // generators scale them down at generation time.
+  std::vector<DatasetSpec> specs = {
+      // name        lh2_logs   lh_tmpl lh2_tmpl preamble
+      {"HealthApp", 2000, 75, 212394, 156, PreambleStyle::kIso, 3, 10, 0.02, 0},
+      {"OpenStack", 2000, 43, 207632, 48, PreambleStyle::kIso, 6, 14, 0.02, 0},
+      {"OpenSSH", 2000, 27, 638947, 38, PreambleStyle::kSyslog, 4, 11, 0.01, 0},
+      {"Proxifier", 2000, 8, 21320, 11, PreambleStyle::kPlain, 4, 9, 0.0, 0},
+      {"HPC", 2000, 46, 429988, 74, PreambleStyle::kPlain, 3, 9, 0.02, 0},
+      {"Zookeeper", 2000, 50, 74273, 89, PreambleStyle::kIso, 5, 12, 0.02, 0},
+      {"Mac", 2000, 341, 100314, 626, PreambleStyle::kSyslog, 4, 13, 0.05, 0},
+      {"Hadoop", 2000, 114, 179993, 236, PreambleStyle::kIso, 5, 13, 0.03, 0},
+      {"Linux", 2000, 118, 23921, 338, PreambleStyle::kSyslog, 4, 12, 0.04, 0},
+      {"Android", 2000, 166, 0, 0, PreambleStyle::kAndroid, 4, 12, 0.03, 0},
+      {"HDFS", 2000, 14, 11167740, 46, PreambleStyle::kIso, 5, 12, 0.0, 0},
+      {"BGL", 2000, 120, 4631261, 320, PreambleStyle::kBgl, 3, 11, 0.03, 0},
+      {"Windows", 2000, 50, 0, 0, PreambleStyle::kIso, 4, 11, 0.02, 0},
+      {"Apache", 2000, 6, 51978, 29, PreambleStyle::kBracketed, 4, 10, 0.0, 0},
+      {"Thunderbird", 2000, 149, 16601745, 1241, PreambleStyle::kSyslog, 4, 12,
+       0.04, 0},
+      {"Spark", 2000, 36, 16075117, 236, PreambleStyle::kIso, 5, 12, 0.02, 0},
+  };
+  for (auto& s : specs) {
+    s.seed = HashToken(s.name);
+  }
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() {
+  static const std::vector<DatasetSpec>* specs =
+      new std::vector<DatasetSpec>(BuildSpecs());
+  return *specs;
+}
+
+const DatasetSpec* FindDatasetSpec(const std::string& name) {
+  for (const DatasetSpec& s : AllDatasetSpecs()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<DatasetSpec> LogHub2Specs() {
+  std::vector<DatasetSpec> out;
+  for (const DatasetSpec& s : AllDatasetSpecs()) {
+    if (s.loghub2_logs > 0) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace bytebrain

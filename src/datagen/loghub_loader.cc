@@ -1,0 +1,124 @@
+#include "datagen/loghub_loader.h"
+
+#include <cstdio>
+#include <functional>
+#include <unordered_map>
+
+namespace bytebrain {
+
+namespace {
+
+// Reads the whole file line by line, invoking fn(line). Returns IOError
+// if the file cannot be opened.
+Status ForEachLine(const std::string& path,
+                   const std::function<bool(const std::string&)>& fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open: " + path);
+  std::string line;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!fn(line)) {
+        std::fclose(f);
+        return Status::OK();
+      }
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(c));
+    }
+  }
+  if (!line.empty()) fn(line);
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');  // escaped quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+Result<Dataset> LoadStructuredCsv(const std::string& path,
+                                  const std::string& content_column,
+                                  const std::string& event_id_column) {
+  Dataset ds;
+  ds.name = path;
+  int content_index = -1;
+  int event_index = -1;
+  bool header_seen = false;
+  std::unordered_map<std::string, uint32_t> event_ids;
+
+  Status status = ForEachLine(path, [&](const std::string& line) {
+    auto fields = ParseCsvLine(line);
+    if (!header_seen) {
+      header_seen = true;
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (fields[i] == content_column) content_index = static_cast<int>(i);
+        if (fields[i] == event_id_column) event_index = static_cast<int>(i);
+      }
+      return true;
+    }
+    if (content_index < 0 ||
+        static_cast<size_t>(content_index) >= fields.size() ||
+        event_index < 0 || static_cast<size_t>(event_index) >= fields.size()) {
+      return true;  // malformed row: skip
+    }
+    const auto [it, inserted] = event_ids.emplace(
+        fields[event_index], static_cast<uint32_t>(event_ids.size()));
+    ds.logs.push_back({std::move(fields[content_index]), it->second});
+    return true;
+  });
+  BB_RETURN_IF_ERROR(status);
+  if (!header_seen || content_index < 0) {
+    return Status::InvalidArgument("missing '" + content_column +
+                                   "' column in " + path);
+  }
+  if (event_index < 0) {
+    return Status::InvalidArgument("missing '" + event_id_column +
+                                   "' column in " + path);
+  }
+  ds.num_templates = event_ids.size();
+  return ds;
+}
+
+Result<Dataset> LoadPlainLog(const std::string& path, size_t max_lines) {
+  Dataset ds;
+  ds.name = path;
+  Status status = ForEachLine(path, [&](const std::string& line) {
+    if (max_lines > 0 && ds.logs.size() >= max_lines) return false;
+    ds.logs.push_back({line, 0});
+    return true;
+  });
+  BB_RETURN_IF_ERROR(status);
+  ds.num_templates = ds.logs.empty() ? 0 : 1;
+  return ds;
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,33 @@
+// Loader for real LogHub-format ground truth files.
+//
+// The synthetic generator stands in for LogHub by default (the corpora
+// are not redistributable), but users who have downloaded LogHub /
+// LogHub-2.0 can evaluate on the real data: this loader reads the
+// benchmark's `*_structured.csv` files (columns include Content and
+// EventId) and plain `.log` files, producing the same labeled Dataset
+// the generator yields.
+#pragma once
+
+#include <string>
+
+#include "datagen/generator.h"
+#include "util/status.h"
+
+namespace bytebrain {
+
+/// Reads a Logparser-style structured CSV. `content_column` and
+/// `event_id_column` name the columns holding the log text and its
+/// ground-truth template id (LogHub uses "Content" and "EventId").
+/// Handles quoted fields with embedded commas and doubled quotes.
+Result<Dataset> LoadStructuredCsv(const std::string& path,
+                                  const std::string& content_column = "Content",
+                                  const std::string& event_id_column = "EventId");
+
+/// Reads a plain log file (one record per line, no labels; gt_template
+/// is 0 for every record). `max_lines` = 0 reads everything.
+Result<Dataset> LoadPlainLog(const std::string& path, size_t max_lines = 0);
+
+/// Parses one CSV line into fields (exposed for tests).
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+}  // namespace bytebrain

@@ -1,0 +1,31 @@
+#include "eval/bytebrain_adapter.h"
+
+namespace bytebrain {
+
+ByteBrainAdapterConfig ByteBrainDefaultConfig() {
+  ByteBrainAdapterConfig config;
+  config.display_name = "ByteBrain";
+  config.num_threads = 4;
+  return config;
+}
+
+ByteBrainAdapterConfig ByteBrainSequentialConfig() {
+  ByteBrainAdapterConfig config;
+  config.display_name = "ByteBrain Sequential";
+  config.num_threads = 1;
+  return config;
+}
+
+ByteBrainAdapterConfig ByteBrainUnoptimizedConfig() {
+  // The paper's "w/o JIT" variant disables code acceleration while keeping
+  // the algorithm; our analogue swaps the hand-rolled preprocessing fast
+  // paths for the scalar/regex reference implementations and runs
+  // single-threaded (multi-threading is also unavailable w/o JIT there).
+  ByteBrainAdapterConfig config;
+  config.display_name = "ByteBrain w/o JIT";
+  config.num_threads = 1;
+  config.options.unoptimized = true;
+  return config;
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,75 @@
+// Adapts ByteBrainParser (and its ablation variants) to the uniform
+// LogParserInterface used by the evaluation harness. Parse() = offline
+// training on the batch followed by online matching of every log, which
+// is exactly what the paper's throughput metric times.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/parser.h"
+#include "eval/parser_interface.h"
+
+namespace bytebrain {
+
+/// Evaluation knobs on top of ByteBrainOptions.
+struct ByteBrainAdapterConfig {
+  std::string display_name = "ByteBrain";
+  ByteBrainOptions options;
+  /// Threads used for training and matching (1 = "ByteBrain Sequential").
+  int num_threads = 4;
+  /// Resolve matched leaves at this saturation threshold before grouping
+  /// (the query-time precision used for accuracy scoring).
+  double report_threshold = 0.45;
+};
+
+class ByteBrainAdapter : public LogParserInterface {
+ public:
+  explicit ByteBrainAdapter(ByteBrainAdapterConfig config)
+      : config_(std::move(config)) {
+    config_.options.trainer.num_threads = config_.num_threads;
+    config_.options.trainer.preprocess.num_threads = config_.num_threads;
+  }
+
+  std::string name() const override { return config_.display_name; }
+
+  std::vector<uint64_t> Parse(const std::vector<std::string>& logs) override {
+    parser_ = std::make_unique<ByteBrainParser>(config_.options);
+    if (!parser_->Train(logs).ok()) {
+      return std::vector<uint64_t>(logs.size(), 0);
+    }
+    std::vector<TemplateId> leaves;
+    if (config_.options.naive_match) {
+      leaves = parser_->training_assignments();
+    } else {
+      leaves = parser_->MatchAll(logs, config_.num_threads);
+    }
+    std::vector<uint64_t> groups(logs.size(), 0);
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      if (leaves[i] == kInvalidTemplateId) {
+        // Unmatched logs each form their own group (online adoption
+        // would assign them fresh templates).
+        groups[i] = (1ULL << 63) | i;
+        continue;
+      }
+      auto resolved =
+          parser_->ResolveAtThreshold(leaves[i], config_.report_threshold);
+      groups[i] = resolved.ok() ? resolved.value() : leaves[i];
+    }
+    return groups;
+  }
+
+  /// The trained parser from the last Parse call (for inspection).
+  ByteBrainParser* parser() { return parser_.get(); }
+
+ private:
+  ByteBrainAdapterConfig config_;
+  std::unique_ptr<ByteBrainParser> parser_;
+};
+
+/// Canonical configurations used across the benches.
+ByteBrainAdapterConfig ByteBrainDefaultConfig();
+ByteBrainAdapterConfig ByteBrainSequentialConfig();
+ByteBrainAdapterConfig ByteBrainUnoptimizedConfig();  // "w/o JIT" analogue
+
+}  // namespace bytebrain

@@ -1,0 +1,64 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bytebrain {
+
+namespace {
+
+// Maps each label to the sorted list of log indices carrying it.
+template <typename Label>
+std::unordered_map<Label, std::vector<uint32_t>> GroupsOf(
+    const std::vector<Label>& labels) {
+  std::unordered_map<Label, std::vector<uint32_t>> groups;
+  for (uint32_t i = 0; i < labels.size(); ++i) {
+    groups[labels[i]].push_back(i);
+  }
+  return groups;
+}
+
+template <typename GtLabel>
+double GroupingAccuracyImpl(const std::vector<uint64_t>& predicted,
+                            const std::vector<GtLabel>& ground_truth) {
+  if (predicted.size() != ground_truth.size()) return 0.0;
+  if (predicted.empty()) return 1.0;
+
+  auto pred_groups = GroupsOf(predicted);
+  auto gt_groups = GroupsOf(ground_truth);
+
+  // A log is correct iff its predicted group is exactly its gt group.
+  // Since groups are index lists built in order, comparing the two lists
+  // per gt group suffices: every member of the gt group must carry the
+  // same predicted label, and that predicted group must have equal size.
+  uint64_t correct = 0;
+  for (const auto& [gt_label, members] : gt_groups) {
+    const uint64_t pred_label = predicted[members[0]];
+    const auto& pred_members = pred_groups[pred_label];
+    if (pred_members.size() != members.size()) continue;
+    bool uniform = true;
+    for (uint32_t idx : members) {
+      if (predicted[idx] != pred_label) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) correct += members.size();
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(predicted.size());
+}
+
+}  // namespace
+
+double GroupingAccuracy(const std::vector<uint64_t>& predicted,
+                        const std::vector<uint64_t>& ground_truth) {
+  return GroupingAccuracyImpl(predicted, ground_truth);
+}
+
+double GroupingAccuracy(const std::vector<uint64_t>& predicted,
+                        const std::vector<uint32_t>& ground_truth) {
+  return GroupingAccuracyImpl(predicted, ground_truth);
+}
+
+}  // namespace bytebrain

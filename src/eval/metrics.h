@@ -1,0 +1,38 @@
+// Evaluation metrics (paper §5.1.3).
+//
+// Grouping Accuracy (GA): the fraction of logs that are correctly
+// grouped, where a log counts as correct only if the set of logs sharing
+// its predicted group EXACTLY equals the set sharing its ground-truth
+// template. This strict partition-equality definition prevents accuracy
+// inflation from frequent easy patterns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bytebrain {
+
+/// Strict grouping accuracy over two labelings of the same log sequence.
+/// Labels are arbitrary ids; only the induced partitions matter.
+/// Returns a value in [0, 1]; empty input scores 1.
+double GroupingAccuracy(const std::vector<uint64_t>& predicted,
+                        const std::vector<uint64_t>& ground_truth);
+
+/// Convenience overload for 32-bit ground-truth labels.
+double GroupingAccuracy(const std::vector<uint64_t>& predicted,
+                        const std::vector<uint32_t>& ground_truth);
+
+/// Summary of one (method, dataset) evaluation run.
+struct RunResult {
+  double grouping_accuracy = 0.0;
+  double seconds = 0.0;
+  size_t num_logs = 0;
+  size_t num_groups = 0;  // distinct predicted groups
+
+  double Throughput() const {
+    return seconds > 0.0 ? static_cast<double>(num_logs) / seconds : 0.0;
+  }
+};
+
+}  // namespace bytebrain

@@ -1,0 +1,31 @@
+// Uniform interface over all log parsers (ByteBrain + every baseline).
+//
+// Parse() consumes a whole batch and returns one group id per log; the
+// throughput metric (paper §5.1.3) divides the batch size by the combined
+// training + matching wall time, so each implementation performs its full
+// pipeline inside Parse().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bytebrain {
+
+class LogParserInterface {
+ public:
+  virtual ~LogParserInterface() = default;
+
+  /// Display name, e.g. "Drain" or "ByteBrain Sequential".
+  virtual std::string name() const = 0;
+
+  /// Parses the batch; returns one group id per input log. Ids are
+  /// arbitrary but consistent within the call (same id <=> same group).
+  virtual std::vector<uint64_t> Parse(const std::vector<std::string>& logs) = 0;
+};
+
+using ParserFactory = std::function<std::unique_ptr<LogParserInterface>()>;
+
+}  // namespace bytebrain

@@ -1,0 +1,66 @@
+#include "eval/runner.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/timer.h"
+
+namespace bytebrain {
+
+RunResult RunOn(LogParserInterface* parser, const Dataset& dataset) {
+  std::vector<std::string> logs;
+  logs.reserve(dataset.logs.size());
+  std::vector<uint32_t> gt;
+  gt.reserve(dataset.logs.size());
+  for (const auto& l : dataset.logs) {
+    logs.push_back(l.text);
+    gt.push_back(l.gt_template);
+  }
+
+  Timer timer;
+  std::vector<uint64_t> predicted = parser->Parse(logs);
+  RunResult result;
+  result.seconds = timer.ElapsedSeconds();
+  result.num_logs = logs.size();
+  result.grouping_accuracy = GroupingAccuracy(predicted, gt);
+  std::unordered_set<uint64_t> distinct(predicted.begin(), predicted.end());
+  result.num_groups = distinct.size();
+  return result;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {}
+
+void TablePrinter::PrintHeader() const {
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    std::printf("%-*s", widths_[i], headers_[i].c_str());
+  }
+  std::printf("\n");
+  int total = 0;
+  for (int w : widths_) total += w;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    std::printf("%-*s", widths_[i], cells[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,34 @@
+// Experiment runner + table output helpers shared by the benches.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "eval/metrics.h"
+#include "eval/parser_interface.h"
+
+namespace bytebrain {
+
+/// Runs `parser` over the dataset, timing the full pipeline and scoring
+/// grouping accuracy against the generator's labels.
+RunResult RunOn(LogParserInterface* parser, const Dataset& dataset);
+
+/// Fixed-width table printer for bench output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths);
+
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Sci(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+}  // namespace bytebrain

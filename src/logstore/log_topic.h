@@ -1,0 +1,102 @@
+// Append-only log topic storage.
+//
+// A log topic is the unit of the log service: records are appended in
+// arrival order, indexed by sequence number, and never mutated (paper §3).
+// Records are held in fixed-size in-memory segments; segments can be
+// persisted to and recovered from a simple checksummed binary format so a
+// topic survives process restarts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logstore/log_record.h"
+#include "util/status.h"
+
+namespace bytebrain {
+
+/// Thread-safe append-only record log with sequence-number addressing.
+class LogTopic {
+ public:
+  /// `segment_capacity` records per segment; tuned for scan locality.
+  explicit LogTopic(std::string name, size_t segment_capacity = 65536);
+
+  const std::string& name() const { return name_; }
+
+  /// Appends a record and returns its sequence number (0-based).
+  uint64_t Append(LogRecord record);
+
+  /// Number of records appended so far.
+  uint64_t size() const;
+
+  /// Total bytes of record text appended (the "log volume").
+  uint64_t text_bytes() const;
+
+  /// Reads the record at `seq`. Fails with NotFound past the end.
+  Result<LogRecord> Read(uint64_t seq) const;
+
+  /// Invokes fn(seq, record) for each record in [begin_seq, end_seq).
+  /// The callback must not re-enter the topic.
+  Status Scan(uint64_t begin_seq, uint64_t end_seq,
+              const std::function<void(uint64_t, const LogRecord&)>& fn) const;
+
+  /// Rewrites the template id of an already-appended record. The text is
+  /// immutable but template assignments may be refined by retraining.
+  Status AssignTemplate(uint64_t seq, TemplateId template_id);
+
+  /// Serializes all records to `path` (binary, checksummed).
+  Status PersistTo(const std::string& path) const;
+
+  /// Loads records from `path`, replacing current contents.
+  Status RecoverFrom(const std::string& path);
+
+ private:
+  struct Segment {
+    std::vector<LogRecord> records;
+  };
+
+  Segment* MutableSegment(uint64_t seq);
+  const LogRecord* Locate(uint64_t seq) const;
+
+  std::string name_;
+  size_t segment_capacity_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  uint64_t count_ = 0;
+  uint64_t text_bytes_ = 0;
+  mutable std::mutex mu_;
+};
+
+/// Append-only store for clustering-tree node metadata ("internal topic",
+/// paper §3). Supports id lookup and parent traversal for queries.
+class InternalTopic {
+ public:
+  /// Appends (or overwrites, for retraining merges) a node's metadata.
+  void Put(TemplateMeta meta);
+
+  /// Looks up a node by template id.
+  Result<TemplateMeta> Get(TemplateId id) const;
+
+  /// Walks ancestors from `id` toward the root: the returned chain starts
+  /// at `id` itself and ends at the root node.
+  Result<std::vector<TemplateMeta>> AncestorChain(TemplateId id) const;
+
+  /// All stored nodes (snapshot), in insertion order.
+  std::vector<TemplateMeta> All() const;
+
+  size_t size() const;
+
+  Status PersistTo(const std::string& path) const;
+  Status RecoverFrom(const std::string& path);
+
+ private:
+  std::vector<TemplateMeta> entries_;
+  std::unordered_map<TemplateId, size_t> index_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace bytebrain

@@ -1,0 +1,675 @@
+#include "regex/regex.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace bytebrain {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  enum class Kind {
+    kEmpty,
+    kChar,      // character class (single literals are 1-element classes)
+    kAny,
+    kConcat,
+    kAlternate,
+    kRepeat,    // {min, max}; max = -1 means unbounded
+    kAnchorBegin,
+    kAnchorEnd,
+  };
+
+  Kind kind;
+  std::bitset<256> char_class;
+  NodePtr left;
+  NodePtr right;
+  int rep_min = 0;
+  int rep_max = 0;  // -1 = unbounded
+};
+
+NodePtr MakeNode(Node::Kind kind) {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  return n;
+}
+
+// Upper bound on compiled program size; {m,n} quantifiers are expanded by
+// duplication, so guard against pathological patterns.
+constexpr size_t kMaxProgramSize = 1 << 16;
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent over the pattern)
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view pattern) : p_(pattern) {}
+
+  Result<NodePtr> Parse() {
+    auto node = ParseAlternate();
+    if (!node.ok()) return node.status();
+    if (pos_ != p_.size()) {
+      return Status::InvalidArgument("unbalanced ')' at offset " +
+                                     std::to_string(pos_));
+    }
+    return node;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= p_.size(); }
+  char Peek() const { return p_[pos_]; }
+  char Take() { return p_[pos_++]; }
+  bool TryTake(char c) {
+    if (!AtEnd() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<NodePtr> ParseAlternate() {
+    auto left = ParseConcat();
+    if (!left.ok()) return left.status();
+    NodePtr node = std::move(left.value());
+    while (TryTake('|')) {
+      auto right = ParseConcat();
+      if (!right.ok()) return right.status();
+      auto alt = MakeNode(Node::Kind::kAlternate);
+      alt->left = std::move(node);
+      alt->right = std::move(right.value());
+      node = std::move(alt);
+    }
+    return node;
+  }
+
+  Result<NodePtr> ParseConcat() {
+    NodePtr node = MakeNode(Node::Kind::kEmpty);
+    bool first = true;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      auto piece = ParseRepeat();
+      if (!piece.ok()) return piece.status();
+      if (first) {
+        node = std::move(piece.value());
+        first = false;
+      } else {
+        auto cat = MakeNode(Node::Kind::kConcat);
+        cat->left = std::move(node);
+        cat->right = std::move(piece.value());
+        node = std::move(cat);
+      }
+    }
+    return node;
+  }
+
+  Result<NodePtr> ParseRepeat() {
+    auto atom = ParseAtom();
+    if (!atom.ok()) return atom.status();
+    NodePtr node = std::move(atom.value());
+    while (!AtEnd()) {
+      char c = Peek();
+      int min = 0;
+      int max = 0;
+      if (c == '*') {
+        ++pos_;
+        min = 0;
+        max = -1;
+      } else if (c == '+') {
+        ++pos_;
+        min = 1;
+        max = -1;
+      } else if (c == '?') {
+        ++pos_;
+        min = 0;
+        max = 1;
+      } else if (c == '{') {
+        size_t save = pos_;
+        auto bounds = ParseBraceQuantifier();
+        if (!bounds.ok()) {
+          // Not a quantifier; treat '{' as a literal (common in log rules).
+          pos_ = save;
+          break;
+        }
+        min = bounds.value().first;
+        max = bounds.value().second;
+      } else {
+        break;
+      }
+      if (node->kind == Node::Kind::kAnchorBegin ||
+          node->kind == Node::Kind::kAnchorEnd) {
+        return Status::InvalidArgument("quantifier applied to anchor");
+      }
+      auto rep = MakeNode(Node::Kind::kRepeat);
+      rep->left = std::move(node);
+      rep->rep_min = min;
+      rep->rep_max = max;
+      node = std::move(rep);
+    }
+    return node;
+  }
+
+  // Parses "{m}", "{m,}", "{m,n}" after the '{'. On failure the caller
+  // restores the cursor and treats '{' literally.
+  Result<std::pair<int, int>> ParseBraceQuantifier() {
+    ++pos_;  // consume '{'
+    int min = 0;
+    bool any_digit = false;
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+      min = min * 10 + (Take() - '0');
+      any_digit = true;
+      if (min > 1000) return Status::InvalidArgument("repeat bound too large");
+    }
+    if (!any_digit) return Status::InvalidArgument("not a quantifier");
+    int max = min;
+    if (TryTake(',')) {
+      if (TryTake('}')) return std::make_pair(min, -1);
+      max = 0;
+      any_digit = false;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        max = max * 10 + (Take() - '0');
+        any_digit = true;
+        if (max > 1000) {
+          return Status::InvalidArgument("repeat bound too large");
+        }
+      }
+      if (!any_digit || !TryTake('}')) {
+        return Status::InvalidArgument("not a quantifier");
+      }
+      if (max < min) return Status::InvalidArgument("repeat bounds inverted");
+      return std::make_pair(min, max);
+    }
+    if (!TryTake('}')) return Status::InvalidArgument("not a quantifier");
+    return std::make_pair(min, max);
+  }
+
+  Result<NodePtr> ParseAtom() {
+    if (AtEnd()) return MakeNode(Node::Kind::kEmpty);
+    char c = Take();
+    switch (c) {
+      case '(': {
+        if (TryTake('?')) {
+          if (TryTake(':')) {
+            // Non-capturing group: same as a plain group for us.
+          } else if (!AtEnd() && (Peek() == '=' || Peek() == '!')) {
+            return Status::NotSupported(
+                "lookahead is prohibited (worst-case exponential)");
+          } else if (TryTake('<')) {
+            return Status::NotSupported(
+                "lookbehind is prohibited (worst-case exponential)");
+          } else {
+            return Status::InvalidArgument("unknown (?...) construct");
+          }
+        }
+        auto inner = ParseAlternate();
+        if (!inner.ok()) return inner.status();
+        if (!TryTake(')')) return Status::InvalidArgument("missing ')'");
+        return inner;
+      }
+      case '[':
+        return ParseCharClass();
+      case '.':
+        return MakeNode(Node::Kind::kAny);
+      case '^':
+        return MakeNode(Node::Kind::kAnchorBegin);
+      case '$':
+        return MakeNode(Node::Kind::kAnchorEnd);
+      case '\\':
+        return ParseEscape(/*in_class=*/false);
+      case ')':
+        return Status::InvalidArgument("unexpected ')'");
+      case '*':
+      case '+':
+      case '?':
+        return Status::InvalidArgument("quantifier with nothing to repeat");
+      default: {
+        auto node = MakeNode(Node::Kind::kChar);
+        node->char_class.set(static_cast<uint8_t>(c));
+        return node;
+      }
+    }
+  }
+
+  // Builds the class for an escape sequence. `\1`..`\9` are rejected as
+  // backreferences.
+  Result<NodePtr> ParseEscape(bool in_class) {
+    if (AtEnd()) return Status::InvalidArgument("trailing backslash");
+    char c = Take();
+    auto node = MakeNode(Node::Kind::kChar);
+    auto& cls = node->char_class;
+    switch (c) {
+      case 'n': cls.set('\n'); return node;
+      case 't': cls.set('\t'); return node;
+      case 'r': cls.set('\r'); return node;
+      case 'f': cls.set('\f'); return node;
+      case 'v': cls.set('\v'); return node;
+      case '0': cls.set('\0'); return node;
+      case 'd':
+        for (int ch = '0'; ch <= '9'; ++ch) cls.set(ch);
+        return node;
+      case 'D':
+        for (int ch = 0; ch < 256; ++ch) {
+          if (ch < '0' || ch > '9') cls.set(ch);
+        }
+        return node;
+      case 'w':
+        for (int ch = '0'; ch <= '9'; ++ch) cls.set(ch);
+        for (int ch = 'a'; ch <= 'z'; ++ch) cls.set(ch);
+        for (int ch = 'A'; ch <= 'Z'; ++ch) cls.set(ch);
+        cls.set('_');
+        return node;
+      case 'W':
+        for (int ch = 0; ch < 256; ++ch) cls.set(ch);
+        for (int ch = '0'; ch <= '9'; ++ch) cls.reset(ch);
+        for (int ch = 'a'; ch <= 'z'; ++ch) cls.reset(ch);
+        for (int ch = 'A'; ch <= 'Z'; ++ch) cls.reset(ch);
+        cls.reset('_');
+        return node;
+      case 's':
+        cls.set(' ');
+        cls.set('\t');
+        cls.set('\n');
+        cls.set('\r');
+        cls.set('\f');
+        cls.set('\v');
+        return node;
+      case 'S':
+        for (int ch = 0; ch < 256; ++ch) cls.set(ch);
+        cls.reset(' ');
+        cls.reset('\t');
+        cls.reset('\n');
+        cls.reset('\r');
+        cls.reset('\f');
+        cls.reset('\v');
+        return node;
+      case 'x': {
+        // \xHH
+        if (pos_ + 1 >= p_.size()) {
+          return Status::InvalidArgument("incomplete \\x escape");
+        }
+        auto hex = [](char h) -> int {
+          if (h >= '0' && h <= '9') return h - '0';
+          if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+          if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+          return -1;
+        };
+        int hi = hex(Take());
+        int lo = hex(Take());
+        if (hi < 0 || lo < 0) {
+          return Status::InvalidArgument("bad \\x escape");
+        }
+        cls.set(hi * 16 + lo);
+        return node;
+      }
+      default:
+        if (c >= '1' && c <= '9' && !in_class) {
+          return Status::NotSupported("backreferences are prohibited");
+        }
+        // Escaped metacharacter or any other char: literal.
+        cls.set(static_cast<uint8_t>(c));
+        return node;
+    }
+  }
+
+  Result<NodePtr> ParseCharClass() {
+    auto node = MakeNode(Node::Kind::kChar);
+    auto& cls = node->char_class;
+    bool negated = TryTake('^');
+    bool first = true;
+    while (true) {
+      if (AtEnd()) return Status::InvalidArgument("unterminated [class]");
+      char c = Peek();
+      if (c == ']' && !first) {
+        ++pos_;
+        break;
+      }
+      first = false;
+      ++pos_;
+      std::bitset<256> item;
+      if (c == '\\') {
+        // The backslash was consumed above; ParseEscape reads what follows.
+        auto esc = ParseEscape(/*in_class=*/true);
+        if (!esc.ok()) return esc.status();
+        item = esc.value()->char_class;
+      } else {
+        item.set(static_cast<uint8_t>(c));
+      }
+      // Range a-z (only for single-char left side, and '-' not at end).
+      if (item.count() == 1 && !AtEnd() && Peek() == '-' &&
+          pos_ + 1 < p_.size() && p_[pos_ + 1] != ']') {
+        ++pos_;  // consume '-'
+        char hi_c = Take();
+        std::bitset<256> hi_item;
+        if (hi_c == '\\') {
+          auto esc = ParseEscape(/*in_class=*/true);
+          if (!esc.ok()) return esc.status();
+          hi_item = esc.value()->char_class;
+          if (hi_item.count() != 1) {
+            return Status::InvalidArgument("bad range end in [class]");
+          }
+        } else {
+          hi_item.set(static_cast<uint8_t>(hi_c));
+        }
+        int lo = 0;
+        int hi = 0;
+        for (int i = 0; i < 256; ++i) {
+          if (item.test(i)) lo = i;
+          if (hi_item.test(i)) hi = i;
+        }
+        if (hi < lo) return Status::InvalidArgument("inverted [a-b] range");
+        for (int i = lo; i <= hi; ++i) cls.set(i);
+      } else {
+        cls |= item;
+      }
+    }
+    if (negated) cls.flip();
+    return node;
+  }
+
+  std::string_view p_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compiler: AST -> NFA program (Thompson construction)
+// ---------------------------------------------------------------------------
+
+class RegexCompiler {
+ public:
+  explicit RegexCompiler(Regex* re) : re_(re) {}
+
+  Status Compile(const Node* node) {
+    BB_RETURN_IF_ERROR(Emit(node));
+    if (re_->program_.size() >= kMaxProgramSize) {
+      return Status::ResourceExhausted("compiled pattern too large");
+    }
+    re_->program_.push_back({Regex::Op::kMatch, 0, 0});
+    return Status::OK();
+  }
+
+ private:
+  uint32_t Here() const {
+    return static_cast<uint32_t>(re_->program_.size());
+  }
+
+  Status CheckSize() {
+    if (re_->program_.size() >= kMaxProgramSize) {
+      return Status::ResourceExhausted(
+          "compiled pattern too large (bounded-repeat expansion)");
+    }
+    return Status::OK();
+  }
+
+  uint32_t AddClass(const std::bitset<256>& cls) {
+    // Dedup identical classes; patterns like \d{4} reuse one entry.
+    for (size_t i = 0; i < re_->classes_.size(); ++i) {
+      if (re_->classes_[i] == cls) return static_cast<uint32_t>(i);
+    }
+    re_->classes_.push_back(cls);
+    return static_cast<uint32_t>(re_->classes_.size() - 1);
+  }
+
+  Status Emit(const Node* node) {
+    BB_RETURN_IF_ERROR(CheckSize());
+    switch (node->kind) {
+      case Node::Kind::kEmpty:
+        return Status::OK();
+      case Node::Kind::kChar:
+        re_->program_.push_back(
+            {Regex::Op::kChar, AddClass(node->char_class), 0});
+        return Status::OK();
+      case Node::Kind::kAny:
+        re_->program_.push_back({Regex::Op::kAny, 0, 0});
+        return Status::OK();
+      case Node::Kind::kAnchorBegin:
+        re_->program_.push_back({Regex::Op::kAssertBegin, 0, 0});
+        return Status::OK();
+      case Node::Kind::kAnchorEnd:
+        re_->program_.push_back({Regex::Op::kAssertEnd, 0, 0});
+        return Status::OK();
+      case Node::Kind::kConcat:
+        BB_RETURN_IF_ERROR(Emit(node->left.get()));
+        return Emit(node->right.get());
+      case Node::Kind::kAlternate: {
+        uint32_t split = Here();
+        re_->program_.push_back({Regex::Op::kSplit, 0, 0});
+        re_->program_[split].arg0 = Here();
+        BB_RETURN_IF_ERROR(Emit(node->left.get()));
+        uint32_t jmp = Here();
+        re_->program_.push_back({Regex::Op::kJmp, 0, 0});
+        re_->program_[split].arg1 = Here();
+        BB_RETURN_IF_ERROR(Emit(node->right.get()));
+        re_->program_[jmp].arg0 = Here();
+        return Status::OK();
+      }
+      case Node::Kind::kRepeat: {
+        const int min = node->rep_min;
+        const int max = node->rep_max;
+        // Mandatory copies.
+        for (int i = 0; i < min; ++i) {
+          BB_RETURN_IF_ERROR(Emit(node->left.get()));
+        }
+        if (max == -1) {
+          // (...)* : split -> body -> jmp back.
+          uint32_t split = Here();
+          re_->program_.push_back({Regex::Op::kSplit, 0, 0});
+          re_->program_[split].arg0 = Here();
+          BB_RETURN_IF_ERROR(Emit(node->left.get()));
+          re_->program_.push_back({Regex::Op::kJmp, split, 0});
+          re_->program_[split].arg1 = Here();
+        } else {
+          // Up to (max - min) optional copies.
+          std::vector<uint32_t> splits;
+          for (int i = min; i < max; ++i) {
+            uint32_t split = Here();
+            re_->program_.push_back({Regex::Op::kSplit, 0, 0});
+            re_->program_[split].arg0 = Here();
+            BB_RETURN_IF_ERROR(Emit(node->left.get()));
+            splits.push_back(split);
+          }
+          for (uint32_t s : splits) re_->program_[s].arg1 = Here();
+        }
+        return Status::OK();
+      }
+    }
+    return Status::InvalidArgument("unreachable node kind");
+  }
+
+  Regex* re_;
+};
+
+Result<Regex> Regex::Compile(std::string_view pattern) {
+  Parser parser(pattern);
+  auto ast = parser.Parse();
+  if (!ast.ok()) return ast.status();
+  Regex re;
+  re.pattern_ = std::string(pattern);
+  RegexCompiler compiler(&re);
+  BB_RETURN_IF_ERROR(compiler.Compile(ast.value().get()));
+  re.ComputeFirstBytes();
+  return re;
+}
+
+void Regex::ComputeFirstBytes() {
+  // Epsilon closure from the entry state, treating anchors as passable
+  // (conservative): the union of consumable classes is the first-byte set.
+  std::vector<bool> seen(program_.size(), false);
+  std::vector<uint32_t> stack{0};
+  while (!stack.empty()) {
+    uint32_t pc = stack.back();
+    stack.pop_back();
+    if (seen[pc]) continue;
+    seen[pc] = true;
+    const Inst& inst = program_[pc];
+    switch (inst.op) {
+      case Op::kJmp:
+        stack.push_back(inst.arg0);
+        break;
+      case Op::kSplit:
+        stack.push_back(inst.arg0);
+        stack.push_back(inst.arg1);
+        break;
+      case Op::kAssertBegin:
+      case Op::kAssertEnd:
+        stack.push_back(pc + 1);
+        break;
+      case Op::kChar:
+        first_bytes_ |= classes_[inst.arg0];
+        break;
+      case Op::kAny:
+        first_bytes_.set();
+        break;
+      case Op::kMatch:
+        matches_empty_ = true;
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pike-VM simulation
+// ---------------------------------------------------------------------------
+
+void Regex::AddThread(uint32_t pc, size_t pos, size_t len,
+                      std::vector<uint32_t>* list,
+                      std::vector<uint32_t>* seen, uint32_t stamp) const {
+  // Iterative epsilon closure to avoid deep recursion on long programs.
+  std::vector<uint32_t> stack{pc};
+  while (!stack.empty()) {
+    uint32_t cur = stack.back();
+    stack.pop_back();
+    if ((*seen)[cur] == stamp) continue;
+    (*seen)[cur] = stamp;
+    const Inst& inst = program_[cur];
+    switch (inst.op) {
+      case Op::kJmp:
+        stack.push_back(inst.arg0);
+        break;
+      case Op::kSplit:
+        // Push arg1 first so arg0 (preferred branch) is processed first.
+        stack.push_back(inst.arg1);
+        stack.push_back(inst.arg0);
+        break;
+      case Op::kAssertBegin:
+        if (pos == 0) stack.push_back(cur + 1);
+        break;
+      case Op::kAssertEnd:
+        if (pos == len) stack.push_back(cur + 1);
+        break;
+      default:
+        list->push_back(cur);
+        break;
+    }
+  }
+}
+
+bool Regex::Search(std::string_view text, RegexMatch* match,
+                   size_t from) const {
+  const size_t n = text.size();
+  std::vector<uint32_t> seen(program_.size(), 0);
+  uint32_t stamp = 0;
+  std::vector<uint32_t> current;
+  std::vector<uint32_t> next;
+
+  // Leftmost-longest: try each start; at the first start with any match,
+  // extend to the longest accepting position.
+  for (size_t start = from; start <= n; ++start) {
+    // First-byte prefilter: skip offsets that cannot begin a match.
+    if (!matches_empty_ && start < n &&
+        !first_bytes_.test(static_cast<uint8_t>(text[start]))) {
+      continue;
+    }
+    current.clear();
+    ++stamp;
+    AddThread(0, start, n, &current, &seen, stamp);
+    bool accepted = false;
+    size_t accept_end = start;
+    size_t pos = start;
+    while (!current.empty()) {
+      for (uint32_t pc : current) {
+        if (program_[pc].op == Op::kMatch) {
+          accepted = true;
+          accept_end = std::max(accept_end, pos);
+        }
+      }
+      if (pos >= n) break;
+      const uint8_t c = static_cast<uint8_t>(text[pos]);
+      next.clear();
+      ++stamp;
+      for (uint32_t pc : current) {
+        const Inst& inst = program_[pc];
+        if (inst.op == Op::kChar) {
+          if (classes_[inst.arg0].test(c)) {
+            AddThread(pc + 1, pos + 1, n, &next, &seen, stamp);
+          }
+        } else if (inst.op == Op::kAny) {
+          AddThread(pc + 1, pos + 1, n, &next, &seen, stamp);
+        }
+        // kMatch threads die here (already recorded above).
+      }
+      std::swap(current, next);
+      ++pos;
+    }
+    // Check accept state at the final position as well.
+    for (uint32_t pc : current) {
+      if (program_[pc].op == Op::kMatch) {
+        accepted = true;
+        accept_end = std::max(accept_end, pos);
+      }
+    }
+    if (accepted) {
+      if (match != nullptr) {
+        match->begin = start;
+        match->end = accept_end;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Regex::FullMatch(std::string_view text) const {
+  // Search is leftmost-longest: a whole-text match exists iff the longest
+  // match starting at offset 0 consumes everything.
+  RegexMatch m;
+  return Search(text, &m, 0) && m.begin == 0 && m.end == text.size();
+}
+
+std::vector<RegexMatch> Regex::FindAll(std::string_view text) const {
+  std::vector<RegexMatch> out;
+  size_t from = 0;
+  RegexMatch m;
+  while (from <= text.size() && Search(text, &m, from)) {
+    if (m.size() == 0) {
+      // Zero-width match: advance one char to guarantee progress.
+      from = m.begin + 1;
+      continue;
+    }
+    out.push_back(m);
+    from = m.end;
+  }
+  return out;
+}
+
+std::string Regex::ReplaceAll(std::string_view text,
+                              std::string_view replacement) const {
+  std::string out;
+  out.reserve(text.size());
+  size_t last = 0;
+  for (const RegexMatch& m : FindAll(text)) {
+    out.append(text.substr(last, m.begin - last));
+    out.append(replacement);
+    last = m.end;
+  }
+  out.append(text.substr(last));
+  return out;
+}
+
+}  // namespace bytebrain

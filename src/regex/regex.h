@@ -1,0 +1,113 @@
+// Linear-time regular expression engine (Thompson NFA / Pike VM).
+//
+// ByteBrain lets tenants supply custom tokenization and common-variable
+// replacement rules (paper §4.1.1-§4.1.2). To keep online latency bounded,
+// the paper prohibits high-complexity regex features whose worst case is
+// exponential (lookaround); this engine enforces that by construction:
+// patterns compile to an NFA simulated in O(text * states).
+//
+// Supported syntax:
+//   literals, escapes  \\ \n \t \r \f \v \d \D \w \W \s \S \. \* ...
+//   character classes  [abc] [^abc] [a-z0-9_] (escapes allowed inside)
+//   any char           .
+//   anchors            ^ $
+//   groups             (...) and (?:...)   (no capture extraction)
+//   quantifiers        * + ? {m} {m,} {m,n}   (greedy; bounded expansion)
+//   alternation        a|b
+//
+// Rejected with Status::kNotSupported: lookahead (?= (?! and
+// lookbehind (?<= (?<! as well as backreferences (\1..\9).
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bytebrain {
+
+/// Half-open span [begin, end) of a match within the searched text.
+struct RegexMatch {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// A compiled pattern. Immutable and safe to share across threads.
+class Regex {
+ public:
+  /// Compiles `pattern`; fails with InvalidArgument on syntax errors and
+  /// NotSupported on prohibited constructs (lookaround, backreferences).
+  static Result<Regex> Compile(std::string_view pattern);
+
+  /// True if the whole of `text` matches.
+  bool FullMatch(std::string_view text) const;
+
+  /// Finds the leftmost-longest match at or after position `from`.
+  /// Returns false if there is no match.
+  bool Search(std::string_view text, RegexMatch* match,
+              size_t from = 0) const;
+
+  /// All non-overlapping leftmost-longest matches.
+  std::vector<RegexMatch> FindAll(std::string_view text) const;
+
+  /// Replaces every non-overlapping match with `replacement` (literal, no
+  /// backreference expansion). Zero-width matches are skipped.
+  std::string ReplaceAll(std::string_view text,
+                         std::string_view replacement) const;
+
+  /// Number of NFA instructions; exposed for tests and cost accounting.
+  size_t num_states() const { return program_.size(); }
+
+  const std::string& pattern() const { return pattern_; }
+
+  /// Bytes that can begin a match (conservative superset). Search skips
+  /// start offsets outside this set, which makes scanning logs for
+  /// variable patterns (digit/hex-led) close to a memchr.
+  const std::bitset<256>& possible_first_bytes() const {
+    return first_bytes_;
+  }
+
+  /// True if the pattern can match the empty string.
+  bool matches_empty() const { return matches_empty_; }
+
+ private:
+  friend class RegexCompiler;
+
+  enum class Op : uint8_t {
+    kChar,         // consume one char in class_id
+    kAny,          // consume any char
+    kSplit,        // fork to arg0 (preferred) and arg1
+    kJmp,          // jump to arg0
+    kAssertBegin,  // zero-width: at text start
+    kAssertEnd,    // zero-width: at text end
+    kMatch,        // accept
+  };
+
+  struct Inst {
+    Op op;
+    uint32_t arg0 = 0;  // jump target or class id
+    uint32_t arg1 = 0;  // second split target
+  };
+
+  Regex() = default;
+
+  // Adds all states reachable from `pc` via epsilon transitions to the
+  // active list. `pos` is the current text offset (for anchors).
+  void AddThread(uint32_t pc, size_t pos, size_t len,
+                 std::vector<uint32_t>* list, std::vector<uint32_t>* seen,
+                 uint32_t stamp) const;
+
+  void ComputeFirstBytes();
+
+  std::string pattern_;
+  std::vector<Inst> program_;
+  std::vector<std::bitset<256>> classes_;
+  std::bitset<256> first_bytes_;
+  bool matches_empty_ = false;
+};
+
+}  // namespace bytebrain

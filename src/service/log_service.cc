@@ -1,0 +1,230 @@
+#include "service/log_service.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/timer.h"
+
+namespace bytebrain {
+
+ManagedTopic::ManagedTopic(std::string name, TopicConfig config)
+    : name_(std::move(name)),
+      config_(std::move(config)),
+      topic_(name_),
+      parser_(config_.parser_options) {
+  for (const auto& [rule_name, pattern] : config_.variable_rules) {
+    // Invalid tenant rules are skipped rather than poisoning the topic;
+    // the compile error is surfaced through the parser's API when added
+    // explicitly.
+    (void)parser_.AddVariableRule(rule_name, pattern);
+  }
+}
+
+Result<uint64_t> ManagedTopic::Ingest(std::string text,
+                                      uint64_t timestamp_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LogRecord record;
+  record.timestamp_us = timestamp_us;
+  record.text = std::move(text);
+
+  // Online matching happens before the record lands so the template id
+  // is indexed together with the text (§3 "Online Matching").
+  if (trained_) {
+    const TemplateId before = parser_.Match(record.text);
+    record.template_id = parser_.MatchOrAdopt(record.text);
+    ++stats_.matched_online;
+    if (before == kInvalidTemplateId &&
+        record.template_id != kInvalidTemplateId) {
+      ++stats_.adopted_templates;
+      // Publish the adopted template's metadata immediately so queries
+      // can display it before the next training cycle.
+      const TreeNode* node = parser_.model().node(record.template_id);
+      if (node != nullptr) {
+        internal_.Put({node->id, node->parent, node->saturation,
+                       parser_.TemplateText(node->id), node->support});
+      }
+    }
+  }
+
+  bytes_since_training_ += record.text.size();
+  ++records_since_training_;
+  stats_.ingested_bytes += record.text.size();
+  ++stats_.ingested_records;
+  const uint64_t seq = topic_.Append(std::move(record));
+
+  BB_RETURN_IF_ERROR(MaybeTrainLocked());
+  return seq;
+}
+
+Status ManagedTopic::MaybeTrainLocked() {
+  const bool first_training_due =
+      !trained_ && records_since_training_ >= config_.initial_train_records;
+  const bool retrain_due =
+      trained_ && (bytes_since_training_ >= config_.train_volume_bytes ||
+                   records_since_training_ >= config_.train_interval_records);
+  if (!first_training_due && !retrain_due) return Status::OK();
+  return TrainLocked();
+}
+
+Status ManagedTopic::TrainNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TrainLocked();
+}
+
+Status ManagedTopic::TrainLocked() {
+  const uint64_t total = topic_.size();
+  if (total == 0) return Status::OK();
+  const uint64_t window =
+      std::min<uint64_t>(total, config_.max_train_records);
+  const uint64_t begin = total - window;
+
+  std::vector<std::string> batch;
+  batch.reserve(window);
+  BB_RETURN_IF_ERROR(topic_.Scan(
+      begin, total,
+      [&batch](uint64_t, const LogRecord& rec) { batch.push_back(rec.text); }));
+
+  Timer timer;
+  if (trained_) {
+    BB_RETURN_IF_ERROR(parser_.Retrain(batch));
+  } else {
+    BB_RETURN_IF_ERROR(parser_.Train(batch));
+  }
+  stats_.last_training_seconds = timer.ElapsedSeconds();
+  ++stats_.trainings;
+  trained_ = true;
+  bytes_since_training_ = 0;
+  records_since_training_ = 0;
+  stats_.model_bytes = parser_.ModelBytes();
+  stats_.num_templates = parser_.model().size();
+
+  // Re-assign templates for the training window (retraining can refine
+  // earlier assignments) and publish node metadata (§3).
+  auto assignments = parser_.MatchAll(batch, config_.num_threads);
+  for (uint64_t i = 0; i < window; ++i) {
+    BB_RETURN_IF_ERROR(topic_.AssignTemplate(begin + i, assignments[i]));
+  }
+  parser_.model().ExportTo(&internal_);
+  return Status::OK();
+}
+
+Result<std::vector<TemplateGroup>> ManagedTopic::Query(
+    double saturation_threshold, uint64_t begin_seq,
+    uint64_t end_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unordered_map<TemplateId, TemplateGroup> groups;
+  const Status scan_status = topic_.Scan(
+      begin_seq, std::min(end_seq, topic_.size()),
+      [&](uint64_t seq, const LogRecord& rec) {
+        TemplateId resolved = rec.template_id;
+        if (resolved != kInvalidTemplateId) {
+          auto r = parser_.ResolveAtThreshold(resolved, saturation_threshold);
+          if (r.ok()) resolved = r.value();
+        }
+        TemplateGroup& g = groups[resolved];
+        if (g.count == 0) {
+          g.template_id = resolved;
+          if (resolved != kInvalidTemplateId) {
+            g.template_text = parser_.MergedWildcardText(resolved);
+            const TreeNode* node = parser_.model().node(resolved);
+            if (node != nullptr) g.saturation = node->saturation;
+          } else {
+            g.template_text = "<unparsed>";
+          }
+        }
+        ++g.count;
+        g.sequence_numbers.push_back(seq);
+      });
+  BB_RETURN_IF_ERROR(scan_status);
+
+  std::vector<TemplateGroup> out;
+  out.reserve(groups.size());
+  for (auto& [id, g] : groups) out.push_back(std::move(g));
+  std::sort(out.begin(), out.end(),
+            [](const TemplateGroup& a, const TemplateGroup& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.template_id < b.template_id;
+            });
+  return out;
+}
+
+Result<std::vector<TemplateAnomaly>> ManagedTopic::DetectAnomalies(
+    uint64_t window1_begin, uint64_t window1_end, uint64_t window2_begin,
+    uint64_t window2_end, double min_change_ratio) const {
+  // Use maximally precise templates for comparison.
+  auto before = Query(1.0, window1_begin, window1_end);
+  BB_RETURN_IF_ERROR(before.status());
+  auto after = Query(1.0, window2_begin, window2_end);
+  BB_RETURN_IF_ERROR(after.status());
+
+  std::unordered_map<TemplateId, uint64_t> before_counts;
+  for (const auto& g : before.value()) before_counts[g.template_id] = g.count;
+
+  std::vector<TemplateAnomaly> anomalies;
+  for (const auto& g : after.value()) {
+    const auto it = before_counts.find(g.template_id);
+    TemplateAnomaly anomaly;
+    anomaly.template_id = g.template_id;
+    anomaly.template_text = g.template_text;
+    anomaly.count_after = g.count;
+    if (it == before_counts.end()) {
+      anomaly.is_new = true;
+      anomaly.change_ratio = static_cast<double>(g.count);
+      anomalies.push_back(std::move(anomaly));
+      continue;
+    }
+    anomaly.count_before = it->second;
+    const double ratio = static_cast<double>(g.count) /
+                         static_cast<double>(std::max<uint64_t>(1, it->second));
+    anomaly.change_ratio = ratio;
+    if (ratio >= min_change_ratio || ratio <= 1.0 / min_change_ratio) {
+      anomalies.push_back(std::move(anomaly));
+    }
+  }
+  std::sort(anomalies.begin(), anomalies.end(),
+            [](const TemplateAnomaly& a, const TemplateAnomaly& b) {
+              if (a.is_new != b.is_new) return a.is_new;
+              return a.change_ratio > b.change_ratio;
+            });
+  return anomalies;
+}
+
+TopicStats ManagedTopic::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool ManagedTopic::trained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trained_;
+}
+
+Result<ManagedTopic*> LogService::CreateTopic(const std::string& name,
+                                              TopicConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = topics_.emplace(
+      name, std::make_unique<ManagedTopic>(name, std::move(config)));
+  if (!inserted) {
+    return Status::AlreadyExists("topic '" + name + "' already exists");
+  }
+  return it->second.get();
+}
+
+Result<ManagedTopic*> LogService::GetTopic(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = topics_.find(name);
+  if (it == topics_.end()) {
+    return Status::NotFound("topic '" + name + "' does not exist");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> LogService::TopicNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(topics_.size());
+  for (const auto& [name, topic] : topics_) names.push_back(name);
+  return names;
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,142 @@
+// Cloud log service layer (paper §3 system design, §6 product features).
+//
+// A ManagedTopic glues the substrates together the way TLS does in
+// production: logs are ingested into an append-only topic; the online
+// matcher assigns template ids at ingestion (unmatched logs are adopted
+// as temporary templates); periodic training — triggered by a volume
+// threshold or an ingestion-count interval — (re)builds the clustering
+// tree and publishes node metadata to the internal topic; queries group
+// records by template at any saturation threshold without reprocessing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/parser.h"
+#include "logstore/log_topic.h"
+#include "util/status.h"
+
+namespace bytebrain {
+
+/// Per-topic configuration.
+struct TopicConfig {
+  /// Retrain once this many bytes arrived since the last training.
+  uint64_t train_volume_bytes = 8 * 1024 * 1024;
+  /// ... or once this many records arrived since the last training.
+  uint64_t train_interval_records = 100000;
+  /// Records required before the FIRST training (the paper configures
+  /// initial training to finish within minutes of topic creation).
+  uint64_t initial_train_records = 1000;
+  /// Cap on records fed into one training run (OOM guard, §3).
+  uint64_t max_train_records = 200000;
+  /// Threads for matching/training (paper: 1-5 cores per topic).
+  int num_threads = 2;
+  ByteBrainOptions parser_options;
+  /// Tenant-defined variable-replacement rules (§4.1.2): name -> pattern,
+  /// compiled on the linear-time engine at topic creation.
+  std::vector<std::pair<std::string, std::string>> variable_rules;
+};
+
+/// One query-result row: a template and the records grouped under it.
+struct TemplateGroup {
+  TemplateId template_id = kInvalidTemplateId;
+  std::string template_text;   // wildcard-merged for display (§7)
+  double saturation = 0.0;
+  uint64_t count = 0;
+  std::vector<uint64_t> sequence_numbers;
+};
+
+/// Statistics the service exposes per topic (Table 5's columns).
+struct TopicStats {
+  uint64_t ingested_records = 0;
+  uint64_t ingested_bytes = 0;
+  uint64_t trainings = 0;
+  uint64_t matched_online = 0;
+  uint64_t adopted_templates = 0;
+  uint64_t model_bytes = 0;
+  double last_training_seconds = 0.0;
+  size_t num_templates = 0;
+};
+
+/// Anomaly report comparing two ingestion windows (§1, §6: count-change
+/// and new-template detection).
+struct TemplateAnomaly {
+  TemplateId template_id = kInvalidTemplateId;
+  std::string template_text;
+  uint64_t count_before = 0;
+  uint64_t count_after = 0;
+  bool is_new = false;     // template absent from the reference window
+  double change_ratio = 0.0;
+};
+
+/// A managed log topic with automatic parsing.
+class ManagedTopic {
+ public:
+  ManagedTopic(std::string name, TopicConfig config);
+
+  /// Appends a record; assigns a template id online (adopting a temporary
+  /// template on a miss) and may trigger a synchronous training cycle.
+  /// Returns the record's sequence number.
+  Result<uint64_t> Ingest(std::string text, uint64_t timestamp_us = 0);
+
+  /// Forces a training cycle over the most recent records.
+  Status TrainNow();
+
+  /// Groups the records of [begin_seq, end_seq) by template, resolving
+  /// template precision at `saturation_threshold` (§3 "Query"). Groups
+  /// arrive ordered by descending count.
+  Result<std::vector<TemplateGroup>> Query(double saturation_threshold,
+                                           uint64_t begin_seq = 0,
+                                           uint64_t end_seq = UINT64_MAX) const;
+
+  /// Compares template counts between two sequence windows and reports
+  /// new templates and count changes >= `min_change_ratio`.
+  Result<std::vector<TemplateAnomaly>> DetectAnomalies(
+      uint64_t window1_begin, uint64_t window1_end, uint64_t window2_begin,
+      uint64_t window2_end, double min_change_ratio = 2.0) const;
+
+  const std::string& name() const { return name_; }
+  TopicStats stats() const;
+  const LogTopic& topic() const { return topic_; }
+  const InternalTopic& internal_topic() const { return internal_; }
+  const ByteBrainParser& parser() const { return parser_; }
+  bool trained() const;
+
+ private:
+  Status MaybeTrainLocked();
+  Status TrainLocked();
+
+  std::string name_;
+  TopicConfig config_;
+  LogTopic topic_;
+  InternalTopic internal_;
+  ByteBrainParser parser_;
+  TopicStats stats_;
+  uint64_t bytes_since_training_ = 0;
+  uint64_t records_since_training_ = 0;
+  bool trained_ = false;
+  mutable std::mutex mu_;
+};
+
+/// The multi-tenant service: a catalog of managed topics.
+class LogService {
+ public:
+  /// Creates a topic; fails with AlreadyExists on name collisions.
+  Result<ManagedTopic*> CreateTopic(const std::string& name,
+                                    TopicConfig config = {});
+
+  /// Looks up an existing topic.
+  Result<ManagedTopic*> GetTopic(const std::string& name) const;
+
+  std::vector<std::string> TopicNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ManagedTopic>> topics_;
+};
+
+}  // namespace bytebrain

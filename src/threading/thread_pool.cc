@@ -1,0 +1,90 @@
+#include "threading/thread_pool.h"
+
+#include <algorithm>
+
+namespace bytebrain {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelForShards(size_t count, size_t num_threads,
+                       const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  num_threads = std::max<size_t>(1, std::min(num_threads, count));
+  if (num_threads == 1) {
+    fn(0, count);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  const size_t base = count / num_threads;
+  const size_t extra = count % num_threads;
+  size_t begin = 0;
+  for (size_t t = 0; t < num_threads; ++t) {
+    const size_t len = base + (t < extra ? 1 : 0);
+    const size_t end = begin + len;
+    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+    begin = end;
+  }
+  for (auto& w : workers) w.join();
+}
+
+void ParallelFor(size_t count, size_t num_threads,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForShards(count, num_threads, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace bytebrain

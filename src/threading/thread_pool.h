@@ -1,0 +1,61 @@
+// Threading substrate (paper §3 "Parallel").
+//
+// ByteBrain parallelizes (1) preprocessing across log shards, (2)
+// hierarchical clustering across initial groups, and (3) online matching
+// across processing queues. This module provides the pool and the
+// ParallelFor primitive those phases build on. In production the paper
+// limits parallelism to 1-5 cores per topic; callers pass the budget.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bytebrain {
+
+/// Fixed-size pool executing submitted tasks FIFO. Destruction waits for
+/// queued tasks to drain.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe from any thread, including pool threads.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) using up to `num_threads` threads with
+/// contiguous static partitioning. `num_threads <= 1` runs inline, which
+/// is the "ByteBrain Sequential" configuration from the paper's Fig. 6.
+void ParallelFor(size_t count, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+/// Like ParallelFor but hands each worker a [begin, end) shard; use when
+/// per-item dispatch overhead matters (e.g. per-log preprocessing).
+void ParallelForShards(size_t count, size_t num_threads,
+                       const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace bytebrain

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generator.
+//
+// ByteBrain uses randomness in two places: K-Means++-style centroid
+// seeding (§4.4) and balanced tie-breaking (§4.6). A small, fast,
+// explicitly-seeded generator keeps runs reproducible, which the tests
+// and ablation benches rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "util/hashing.h"
+
+namespace bytebrain {
+
+/// xoshiro256**-style generator (here: splitmix-seeded xorshift128+).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    s0_ = Mix64(seed);
+    s1_ = Mix64(s0_ ^ 0x9e3779b97f4a7c15ULL);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace bytebrain

@@ -1,0 +1,65 @@
+// Minimal binary serialization helpers shared by the model and storage
+// formats: little-endian fixed-width integers and length-prefixed strings.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace bytebrain {
+
+/// Appends fixed-width values to a byte string.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  void PutU32(uint32_t v) { PutRaw(&v, 4); }
+  void PutU64(uint64_t v) { PutRaw(&v, 8); }
+  void PutDouble(double v) { PutRaw(&v, 8); }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->append(s);
+  }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    out_->append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string* out_;
+};
+
+/// Reads fixed-width values; every getter returns false on underflow so
+/// callers can surface Corruption errors.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(std::string_view s) : data_(s.data()), size_(s.size()) {}
+
+  bool GetU32(uint32_t* v) { return GetRaw(v, 4); }
+  bool GetU64(uint64_t* v) { return GetRaw(v, 8); }
+  bool GetDouble(double* v) { return GetRaw(v, 8); }
+  bool GetString(std::string* out) {
+    uint32_t len = 0;
+    if (!GetU32(&len)) return false;
+    if (pos_ + len > size_) return false;
+    out->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool GetRaw(void* p, size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace bytebrain

@@ -1,0 +1,262 @@
+// Tests for the single clustering process: positional similarity,
+// seeding, balanced grouping, early stop, and saturation-improving splits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/cluster.h"
+
+namespace bytebrain {
+namespace {
+
+std::vector<EncodedLog> MakeLogs(
+    std::initializer_list<std::vector<std::string>> rows) {
+  std::vector<EncodedLog> logs;
+  for (const auto& row : rows) {
+    EncodedLog el;
+    el.count = 1;
+    for (const auto& tok : row) {
+      el.tokens.push_back(HashToken(tok));
+      el.token_texts.push_back(tok);
+    }
+    logs.push_back(std::move(el));
+  }
+  return logs;
+}
+
+std::vector<uint32_t> AllOf(const std::vector<EncodedLog>& logs) {
+  std::vector<uint32_t> v(logs.size());
+  for (uint32_t i = 0; i < v.size(); ++i) v[i] = i;
+  return v;
+}
+
+// Canonical form of a partition for comparisons.
+std::set<std::set<uint32_t>> Canon(
+    const std::vector<std::vector<uint32_t>>& clusters) {
+  std::set<std::set<uint32_t>> out;
+  for (const auto& c : clusters) out.insert(std::set<uint32_t>(c.begin(), c.end()));
+  return out;
+}
+
+const ClusterOptions kDefault;
+
+TEST(ClusterProfileTest, SimilarityFavorsMatchingTokens) {
+  auto logs = MakeLogs({{"open", "a"}, {"open", "b"}, {"close", "c"}});
+  std::vector<uint32_t> active = {0, 1};
+  ClusterProfile profile(active, logs);
+  profile.Add(0);
+  profile.Add(1);
+  // Log 0 shares "open" with the cluster; log 2 shares nothing.
+  const double in_sim = profile.Similarity(logs[0], true);
+  const double out_sim = profile.Similarity(logs[2], true);
+  EXPECT_GT(in_sim, out_sim);
+  EXPECT_GE(in_sim, 0.0);
+  EXPECT_LE(in_sim, 1.0);
+}
+
+TEST(ClusterProfileTest, SingletonClusterSimilarityIsMatchFraction) {
+  auto logs = MakeLogs({{"a", "b", "c"}, {"a", "b", "z"}, {"x", "y", "z"}});
+  std::vector<uint32_t> active = {0, 1, 2};
+  ClusterProfile profile(active, logs);
+  profile.Add(0);
+  // All positions constant in a singleton: every weight is the cap, so
+  // similarity = fraction of equal positions.
+  EXPECT_DOUBLE_EQ(profile.Similarity(logs[1], true), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(profile.Similarity(logs[2], true), 0.0);
+}
+
+TEST(ClusterProfileTest, PositionImportanceDownweightsVolatilePositions) {
+  // Position 0: two values ("open"/"close"). Position 1: many values.
+  // A log agreeing only on the volatile position must score lower than a
+  // log agreeing only on the stable position when importance is on.
+  auto logs = MakeLogs({{"open", "v1"}, {"open", "v2"}, {"open", "v3"},
+                        {"open", "v4"},
+                        {"close", "v1"},   // agrees only at volatile pos 1
+                        {"open", "v9"}});  // agrees only at stable pos 0
+  std::vector<uint32_t> active = {0, 1};
+  ClusterProfile profile(active, logs);
+  for (uint32_t m : {0u, 1u, 2u, 3u}) profile.Add(m);
+  const double volatile_agree = profile.Similarity(logs[4], true);
+  const double stable_agree = profile.Similarity(logs[5], true);
+  EXPECT_GT(stable_agree, volatile_agree);
+}
+
+TEST(ClusterTest, TwoLogsSplitIntoSingletons) {
+  auto logs = MakeLogs({{"a", "x", "1"}, {"b", "y", "2"}});
+  Rng rng(7);
+  auto outcome =
+      SingleClusteringProcess(logs, AllOf(logs), 0.0, kDefault, &rng);
+  ASSERT_TRUE(outcome.split);
+  EXPECT_EQ(Canon(outcome.clusters),
+            (std::set<std::set<uint32_t>>{{0}, {1}}));
+}
+
+TEST(ClusterTest, SingleMemberNeverSplits) {
+  auto logs = MakeLogs({{"a", "b"}});
+  Rng rng(7);
+  auto outcome = SingleClusteringProcess(logs, {0}, 0.0, kDefault, &rng);
+  EXPECT_FALSE(outcome.split);
+}
+
+TEST(ClusterTest, FullyResolvedGroupDoesNotSplit) {
+  auto logs = MakeLogs({{"a", "b"}, {"a", "b"}});
+  Rng rng(7);
+  auto outcome =
+      SingleClusteringProcess(logs, AllOf(logs), 1.0, kDefault, &rng);
+  EXPECT_FALSE(outcome.split);
+}
+
+TEST(ClusterTest, EarlyStopSingleUnresolvedPositionBecomesLeaf) {
+  // Only the last position varies (2 values over 4 logs): splitting on a
+  // single position is pointless (§4.7 case 2).
+  auto logs = MakeLogs({{"k", "s", "a"}, {"k", "s", "a"}, {"k", "s", "b"},
+                        {"k", "s", "b"}});
+  Rng rng(7);
+  const double parent = ComputeSaturation(logs, AllOf(logs), {});
+  auto outcome =
+      SingleClusteringProcess(logs, AllOf(logs), parent, kDefault, &rng);
+  EXPECT_FALSE(outcome.split);
+}
+
+TEST(ClusterTest, EarlyStopCompletelyDistinctSplitsToSingletons) {
+  // Both unresolved positions are distinct in every log (§4.7 case 3).
+  auto logs = MakeLogs({{"k", "a1", "b1"}, {"k", "a2", "b2"},
+                        {"k", "a3", "b3"}, {"k", "a4", "b4"}});
+  Rng rng(7);
+  const double parent = ComputeSaturation(logs, AllOf(logs), {});
+  auto outcome =
+      SingleClusteringProcess(logs, AllOf(logs), parent, kDefault, &rng);
+  ASSERT_TRUE(outcome.split);
+  EXPECT_EQ(outcome.clusters.size(), 4u);
+  for (const auto& c : outcome.clusters) EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ClusterTest, SeparatesTwoObviousStructures) {
+  auto logs = MakeLogs({{"open", "conn", "1", "ok"},
+                        {"open", "conn", "2", "ok"},
+                        {"open", "conn", "3", "ok"},
+                        {"close", "sess", "4", "err"},
+                        {"close", "sess", "5", "err"},
+                        {"close", "sess", "6", "err"}});
+  Rng rng(42);
+  const double parent = ComputeSaturation(logs, AllOf(logs), {});
+  auto outcome =
+      SingleClusteringProcess(logs, AllOf(logs), parent, kDefault, &rng);
+  ASSERT_TRUE(outcome.split);
+  EXPECT_EQ(Canon(outcome.clusters),
+            (std::set<std::set<uint32_t>>{{0, 1, 2}, {3, 4, 5}}));
+}
+
+TEST(ClusterTest, PartitionIsAlwaysComplete) {
+  // Property: whatever the input, the output clusters partition the
+  // members exactly (no loss, no duplication).
+  auto logs = MakeLogs({{"a", "1", "x"}, {"a", "2", "x"}, {"b", "3", "y"},
+                        {"b", "4", "y"}, {"c", "5", "z"}, {"a", "6", "x"},
+                        {"b", "7", "y"}, {"c", "8", "w"}});
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const double parent = ComputeSaturation(logs, AllOf(logs), {});
+    auto outcome =
+        SingleClusteringProcess(logs, AllOf(logs), parent, kDefault, &rng);
+    if (!outcome.split) continue;
+    std::vector<uint32_t> all;
+    for (const auto& c : outcome.clusters) {
+      EXPECT_FALSE(c.empty());
+      all.insert(all.end(), c.begin(), c.end());
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(all, AllOf(logs));
+  }
+}
+
+TEST(ClusterTest, KeptClustersImproveSaturation) {
+  auto logs = MakeLogs({{"put", "obj", "1"}, {"put", "obj", "2"},
+                        {"get", "obj", "3"}, {"get", "obj", "4"},
+                        {"del", "idx", "5"}, {"del", "idx", "6"}});
+  Rng rng(3);
+  const double parent = ComputeSaturation(logs, AllOf(logs), {});
+  auto outcome =
+      SingleClusteringProcess(logs, AllOf(logs), parent, kDefault, &rng);
+  ASSERT_TRUE(outcome.split);
+  for (const auto& c : outcome.clusters) {
+    EXPECT_GT(ComputeSaturation(logs, c, {}), parent);
+  }
+}
+
+TEST(ClusterTest, BalancedGroupingSpreadsTies) {
+  // Logs equidistant to both seed clusters: with balanced grouping the
+  // tie-break is random, so across many seeds both clusters receive
+  // tied logs; without it the first cluster always wins.
+  auto logs = MakeLogs({{"a", "x"}, {"b", "y"}, {"c", "z"}, {"d", "w"},
+                        {"e", "v"}, {"f", "u"}});
+  int unbalanced_spread = 0;
+  int balanced_spread = 0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    for (bool balanced : {false, true}) {
+      ClusterOptions opts = kDefault;
+      opts.balanced_grouping = balanced;
+      opts.early_stop = false;  // force the general path
+      Rng rng(seed);
+      auto outcome = SingleClusteringProcess(logs, AllOf(logs), 0.0, &rng ? opts : opts, &rng);
+      if (!outcome.split) continue;
+      size_t max_cluster = 0;
+      for (const auto& c : outcome.clusters) {
+        max_cluster = std::max(max_cluster, c.size());
+      }
+      // "Spread" when no cluster dominates with everything-minus-seeds.
+      const bool spread = max_cluster < logs.size() - 1;
+      if (balanced) {
+        balanced_spread += spread ? 1 : 0;
+      } else {
+        unbalanced_spread += spread ? 1 : 0;
+      }
+    }
+  }
+  EXPECT_GE(balanced_spread, unbalanced_spread);
+}
+
+TEST(ClusterTest, DisablingEarlyStopStillTerminates) {
+  auto logs = MakeLogs({{"k", "a1", "b1"}, {"k", "a2", "b2"},
+                        {"k", "a3", "b3"}});
+  ClusterOptions opts = kDefault;
+  opts.early_stop = false;
+  Rng rng(11);
+  const double parent = ComputeSaturation(logs, AllOf(logs), {});
+  auto outcome = SingleClusteringProcess(logs, AllOf(logs), parent, opts, &rng);
+  // Must return (terminate); exact partition is secondary.
+  if (outcome.split) {
+    size_t total = 0;
+    for (const auto& c : outcome.clusters) total += c.size();
+    EXPECT_EQ(total, logs.size());
+  }
+}
+
+TEST(ClusterTest, WithoutEnsureSaturationAcceptsTwoWaySplit) {
+  auto logs = MakeLogs({{"k", "s", "a"}, {"k", "s", "b"}, {"k", "s", "a"},
+                        {"k", "s", "b"}});
+  ClusterOptions opts = kDefault;
+  opts.ensure_saturation_increase = false;
+  opts.early_stop = false;
+  Rng rng(5);
+  auto outcome = SingleClusteringProcess(logs, AllOf(logs), 0.9, opts, &rng);
+  // The variant always accepts the k-means result even if saturation
+  // would not improve.
+  EXPECT_TRUE(outcome.split);
+}
+
+TEST(ClusterTest, DeterministicGivenSeed) {
+  auto logs = MakeLogs({{"a", "1", "p"}, {"a", "2", "p"}, {"b", "3", "q"},
+                        {"b", "4", "q"}, {"a", "5", "p"}});
+  const double parent = ComputeSaturation(logs, AllOf(logs), {});
+  Rng rng1(99);
+  Rng rng2(99);
+  auto a = SingleClusteringProcess(logs, AllOf(logs), parent, kDefault, &rng1);
+  auto b = SingleClusteringProcess(logs, AllOf(logs), parent, kDefault, &rng2);
+  EXPECT_EQ(a.split, b.split);
+  EXPECT_EQ(Canon(a.clusters), Canon(b.clusters));
+}
+
+}  // namespace
+}  // namespace bytebrain

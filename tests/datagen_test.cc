@@ -1,0 +1,166 @@
+// Unit tests for the synthetic dataset generator.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "datagen/dataset_spec.h"
+#include "datagen/generator.h"
+
+namespace bytebrain {
+namespace {
+
+TEST(DatasetSpecTest, AllSixteenTable1Rows) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 16u);
+  EXPECT_EQ(specs.front().name, "HealthApp");
+  EXPECT_EQ(specs.back().name, "Spark");
+}
+
+TEST(DatasetSpecTest, Table1TemplateCounts) {
+  // Spot-check against Table 1 of the paper.
+  EXPECT_EQ(FindDatasetSpec("HDFS")->loghub_templates, 14u);
+  EXPECT_EQ(FindDatasetSpec("HDFS")->loghub2_templates, 46u);
+  EXPECT_EQ(FindDatasetSpec("Mac")->loghub_templates, 341u);
+  EXPECT_EQ(FindDatasetSpec("Thunderbird")->loghub2_templates, 1241u);
+  EXPECT_EQ(FindDatasetSpec("Proxifier")->loghub_templates, 8u);
+  EXPECT_EQ(FindDatasetSpec("Apache")->loghub_templates, 6u);
+}
+
+TEST(DatasetSpecTest, LogHub2ExcludesAndroidAndWindows) {
+  auto specs = LogHub2Specs();
+  EXPECT_EQ(specs.size(), 14u);
+  for (const auto& s : specs) {
+    EXPECT_NE(s.name, "Android");
+    EXPECT_NE(s.name, "Windows");
+    EXPECT_GT(s.loghub2_logs, 0u);
+  }
+}
+
+TEST(DatasetSpecTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(FindDatasetSpec("NoSuchDataset"), nullptr);
+}
+
+TEST(GeneratorTest, LogHubCorpusShape) {
+  DatasetGenerator gen(*FindDatasetSpec("Zookeeper"));
+  Dataset ds = gen.GenerateLogHub();
+  EXPECT_EQ(ds.logs.size(), 2000u);
+  EXPECT_EQ(ds.num_templates, 50u);
+  for (const auto& log : ds.logs) {
+    EXPECT_FALSE(log.text.empty());
+    EXPECT_LT(log.gt_template, ds.num_templates);
+  }
+}
+
+TEST(GeneratorTest, DeterministicAcrossRuns) {
+  DatasetGenerator gen(*FindDatasetSpec("HDFS"));
+  Dataset a = gen.GenerateLogHub();
+  Dataset b = gen.GenerateLogHub();
+  ASSERT_EQ(a.logs.size(), b.logs.size());
+  for (size_t i = 0; i < a.logs.size(); ++i) {
+    EXPECT_EQ(a.logs[i].text, b.logs[i].text);
+    EXPECT_EQ(a.logs[i].gt_template, b.logs[i].gt_template);
+  }
+}
+
+TEST(GeneratorTest, AllTemplatesRepresentedInLargeSample) {
+  // With Zipf sampling over 2000 draws and 8 templates (Proxifier), every
+  // template should appear.
+  DatasetGenerator gen(*FindDatasetSpec("Proxifier"));
+  Dataset ds = gen.GenerateLogHub();
+  std::set<uint32_t> seen;
+  for (const auto& log : ds.logs) seen.insert(log.gt_template);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(GeneratorTest, ZipfSkewProducesDuplicates) {
+  // Fig. 4 of the paper: log corpora are highly duplicated. Verify the
+  // generated corpus has far fewer distinct texts than logs.
+  DatasetGenerator gen(*FindDatasetSpec("Apache"));
+  GenOptions opts;
+  opts.num_logs = 20000;
+  opts.num_templates = 29;
+  Dataset ds = gen.Generate(opts);
+  std::set<std::string> distinct;
+  for (const auto& log : ds.logs) distinct.insert(log.text);
+  EXPECT_LT(distinct.size(), ds.logs.size() / 2);
+}
+
+TEST(GeneratorTest, SameTemplateLogsShareShape) {
+  // Logs of one template must tokenize to the same prefix word. (Weak
+  // structural check; full fidelity is exercised by parser tests.)
+  DatasetGenerator gen(*FindDatasetSpec("OpenSSH"));
+  Dataset ds = gen.GenerateLogHub();
+  std::unordered_map<uint32_t, std::string> first_word;
+  for (const auto& log : ds.logs) {
+    std::string word = log.text.substr(0, log.text.find(' '));
+    auto [it, inserted] = first_word.emplace(log.gt_template, word);
+    if (!inserted) {
+      EXPECT_EQ(it->second, word) << "template " << log.gt_template;
+    }
+  }
+}
+
+TEST(GeneratorTest, PreambleStylesRender) {
+  Rng rng(1);
+  for (PreambleStyle style :
+       {PreambleStyle::kSyslog, PreambleStyle::kBracketed, PreambleStyle::kIso,
+        PreambleStyle::kAndroid, PreambleStyle::kBgl}) {
+    std::string p = RenderPreamble(style, &rng);
+    EXPECT_FALSE(p.empty());
+  }
+  EXPECT_TRUE(RenderPreamble(PreambleStyle::kPlain, &rng).empty());
+}
+
+TEST(GeneratorTest, PreambleOptionChangesText) {
+  DatasetGenerator gen(*FindDatasetSpec("Linux"));
+  GenOptions with;
+  with.num_logs = 10;
+  with.num_templates = 5;
+  with.include_preamble = true;
+  GenOptions without = with;
+  without.include_preamble = false;
+  Dataset a = gen.Generate(with);
+  Dataset b = gen.Generate(without);
+  // Preambled logs must be strictly longer on average.
+  EXPECT_GT(a.TextBytes(), b.TextBytes());
+}
+
+TEST(GeneratorTest, LogHub2ScaleControlsSize) {
+  DatasetGenerator gen(*FindDatasetSpec("Zookeeper"));
+  Dataset small = gen.GenerateLogHub2(0.001);
+  Dataset bigger = gen.GenerateLogHub2(0.01);
+  EXPECT_LT(small.logs.size(), bigger.logs.size());
+  EXPECT_EQ(small.num_templates, 89u);
+  // 0.001 * 74273 ~ 74 logs.
+  EXPECT_NEAR(static_cast<double>(small.logs.size()), 74.0, 2.0);
+}
+
+TEST(GeneratorTest, AndroidContainsLockTemplates) {
+  // The Table-4 drill-down workload must exist in the Android corpus.
+  DatasetGenerator gen(*FindDatasetSpec("Android"));
+  Dataset ds = gen.GenerateLogHub();
+  bool saw_acquire = false;
+  bool saw_release = false;
+  for (const auto& log : ds.logs) {
+    if (log.text.rfind("acquire lock=", 0) == 0) saw_acquire = true;
+    if (log.text.rfind("release lock=", 0) == 0) saw_release = true;
+  }
+  EXPECT_TRUE(saw_acquire);
+  EXPECT_TRUE(saw_release);
+}
+
+TEST(GeneratorTest, TextBytesMatchesSum) {
+  DatasetGenerator gen(*FindDatasetSpec("HPC"));
+  GenOptions opts;
+  opts.num_logs = 100;
+  opts.num_templates = 10;
+  Dataset ds = gen.Generate(opts);
+  uint64_t manual = 0;
+  for (const auto& log : ds.logs) manual += log.text.size();
+  EXPECT_EQ(ds.TextBytes(), manual);
+}
+
+}  // namespace
+}  // namespace bytebrain

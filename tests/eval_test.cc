@@ -1,0 +1,87 @@
+// Tests for the evaluation harness: the ByteBrain adapter configurations
+// and the thresholded grouping it reports.
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "eval/bytebrain_adapter.h"
+#include "eval/runner.h"
+
+namespace bytebrain {
+namespace {
+
+Dataset SmallDataset() {
+  DatasetGenerator gen(*FindDatasetSpec("OpenSSH"));
+  return gen.GenerateLogHub();
+}
+
+TEST(AdapterConfigTest, CanonicalConfigsDiffer) {
+  const auto d = ByteBrainDefaultConfig();
+  const auto s = ByteBrainSequentialConfig();
+  const auto u = ByteBrainUnoptimizedConfig();
+  EXPECT_EQ(d.display_name, "ByteBrain");
+  EXPECT_EQ(s.display_name, "ByteBrain Sequential");
+  EXPECT_EQ(u.display_name, "ByteBrain w/o JIT");
+  EXPECT_GT(d.num_threads, 1);
+  EXPECT_EQ(s.num_threads, 1);
+  EXPECT_TRUE(u.options.unoptimized);
+  EXPECT_FALSE(d.options.unoptimized);
+}
+
+TEST(AdapterTest, AllVariantsProduceEquallyAccurateGroupings) {
+  // Sequential / unoptimized change the execution strategy, not the
+  // algorithm: accuracy must be essentially identical.
+  Dataset ds = SmallDataset();
+  double reference = -1.0;
+  for (const auto& config :
+       {ByteBrainDefaultConfig(), ByteBrainSequentialConfig(),
+        ByteBrainUnoptimizedConfig()}) {
+    ByteBrainAdapter adapter(config);
+    const RunResult r = RunOn(&adapter, ds);
+    if (reference < 0) reference = r.grouping_accuracy;
+    EXPECT_NEAR(r.grouping_accuracy, reference, 0.05) << config.display_name;
+  }
+}
+
+TEST(AdapterTest, ReportThresholdControlsGranularity) {
+  Dataset ds = SmallDataset();
+  ByteBrainAdapterConfig coarse = ByteBrainDefaultConfig();
+  coarse.report_threshold = 0.05;
+  ByteBrainAdapterConfig fine = ByteBrainDefaultConfig();
+  fine.report_threshold = 0.99;
+  ByteBrainAdapter a(coarse);
+  ByteBrainAdapter b(fine);
+  const RunResult rc = RunOn(&a, ds);
+  const RunResult rf = RunOn(&b, ds);
+  EXPECT_LE(rc.num_groups, rf.num_groups);
+}
+
+TEST(AdapterTest, NaiveMatchVariantUsesTrainingAssignments) {
+  Dataset ds = SmallDataset();
+  ByteBrainAdapterConfig config = ByteBrainDefaultConfig();
+  config.options.naive_match = true;
+  ByteBrainAdapter adapter(config);
+  const RunResult r = RunOn(&adapter, ds);
+  // §5.4.1: near-identical accuracy to text matching.
+  EXPECT_GE(r.grouping_accuracy, 0.9);
+}
+
+TEST(AdapterTest, ParserAccessibleAfterParse) {
+  Dataset ds = SmallDataset();
+  ByteBrainAdapter adapter(ByteBrainDefaultConfig());
+  RunOn(&adapter, ds);
+  ASSERT_NE(adapter.parser(), nullptr);
+  EXPECT_GT(adapter.parser()->model().size(), 0u);
+  EXPECT_GT(adapter.parser()->ModelBytes(), 0u);
+}
+
+TEST(AdapterTest, EmptyDataset) {
+  Dataset empty;
+  empty.name = "empty";
+  ByteBrainAdapter adapter(ByteBrainDefaultConfig());
+  const RunResult r = RunOn(&adapter, empty);
+  EXPECT_EQ(r.num_logs, 0u);
+  EXPECT_DOUBLE_EQ(r.grouping_accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace bytebrain

@@ -1,0 +1,155 @@
+// Tests for the LogHub-format loaders and the serde helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/loghub_loader.h"
+#include "util/serde.h"
+
+namespace bytebrain {
+namespace {
+
+std::string TempFileWith(const std::string& name, const std::string& body) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::ofstream out(path, std::ios::binary);
+  out << body;
+  return path;
+}
+
+TEST(CsvParseTest, PlainFields) {
+  auto f = ParseCsvLine("a,b,c");
+  EXPECT_EQ(f, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParseTest, QuotedFieldWithComma) {
+  auto f = ParseCsvLine(R"(1,"hello, world",E1)");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "hello, world");
+}
+
+TEST(CsvParseTest, EscapedQuotes) {
+  auto f = ParseCsvLine(R"("say ""hi""",x)");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "say \"hi\"");
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  auto f = ParseCsvLine(",,");
+  EXPECT_EQ(f, (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(LoaderTest, StructuredCsvRoundTrip) {
+  const std::string path = TempFileWith(
+      "bb_loghub.csv",
+      "LineId,Content,EventId\n"
+      "1,Accepted password for root,E1\n"
+      "2,Failed password for guest,E2\n"
+      "3,Accepted password for admin,E1\n");
+  auto ds = LoadStructuredCsv(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  ASSERT_EQ(ds->logs.size(), 3u);
+  EXPECT_EQ(ds->num_templates, 2u);
+  EXPECT_EQ(ds->logs[0].text, "Accepted password for root");
+  EXPECT_EQ(ds->logs[0].gt_template, ds->logs[2].gt_template);
+  EXPECT_NE(ds->logs[0].gt_template, ds->logs[1].gt_template);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, QuotedContentWithCommas) {
+  const std::string path = TempFileWith(
+      "bb_loghub_q.csv",
+      "Content,EventId\n"
+      "\"release:lock=1, flg=0x0, name=android\",E9\n");
+  auto ds = LoadStructuredCsv(path);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->logs.size(), 1u);
+  EXPECT_EQ(ds->logs[0].text, "release:lock=1, flg=0x0, name=android");
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, MissingColumnFails) {
+  const std::string path = TempFileWith("bb_loghub_bad.csv",
+                                        "LineId,Message\n1,hello\n");
+  EXPECT_TRUE(LoadStructuredCsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadStructuredCsv("/no/such/file.csv").status().IsIOError());
+  EXPECT_TRUE(LoadPlainLog("/no/such/file.log").status().IsIOError());
+}
+
+TEST(LoaderTest, PlainLogRespectsMaxLines) {
+  const std::string path =
+      TempFileWith("bb_plain.log", "one\ntwo\nthree\nfour\n");
+  auto all = LoadPlainLog(path);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->logs.size(), 4u);
+  auto capped = LoadPlainLog(path, 2);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->logs.size(), 2u);
+  EXPECT_EQ(capped->logs[1].text, "two");
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, CrlfLineEndingsStripped) {
+  const std::string path = TempFileWith("bb_crlf.log", "alpha\r\nbeta\r\n");
+  auto ds = LoadPlainLog(path);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->logs.size(), 2u);
+  EXPECT_EQ(ds->logs[0].text, "alpha");
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, WriterReaderRoundTrip) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.PutU32(42);
+  w.PutU64(1ULL << 40);
+  w.PutDouble(3.25);
+  w.PutString("payload");
+  ByteReader r(buf);
+  uint32_t a = 0;
+  uint64_t b = 0;
+  double d = 0;
+  std::string s;
+  ASSERT_TRUE(r.GetU32(&a));
+  ASSERT_TRUE(r.GetU64(&b));
+  ASSERT_TRUE(r.GetDouble(&d));
+  ASSERT_TRUE(r.GetString(&s));
+  EXPECT_EQ(a, 42u);
+  EXPECT_EQ(b, 1ULL << 40);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_EQ(s, "payload");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, UnderflowReturnsFalse) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.PutU32(7);
+  ByteReader r(buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(r.GetU64(&v));  // only 4 bytes available
+  std::string s;
+  ByteReader r2(buf);
+  uint32_t len = 0;
+  ASSERT_TRUE(r2.GetU32(&len));  // reads 7 as a length
+  EXPECT_FALSE(r2.GetString(&s));  // but no bytes follow
+}
+
+TEST(SerdeTest, EmptyString) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.PutString("");
+  ByteReader r(buf);
+  std::string s = "junk";
+  ASSERT_TRUE(r.GetString(&s));
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace bytebrain

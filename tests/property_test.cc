@@ -1,0 +1,314 @@
+// Property-based tests: randomized differential and invariant checks
+// across the regex engine, tokenizer, saturation, clustering, model
+// round-trips and grouping accuracy.
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <set>
+
+#include "core/cluster.h"
+#include "core/model.h"
+#include "core/parser.h"
+#include "core/tokenizer.h"
+#include "eval/metrics.h"
+#include "regex/regex.h"
+#include "util/rng.h"
+
+namespace bytebrain {
+namespace {
+
+// ---------------------------------------------------------------------
+// Regex engine vs std::regex (ECMAScript) differential.
+//
+// Whole-string acceptance is preference-order independent, so
+// Regex::FullMatch and std::regex_match must agree for any pattern both
+// engines support.
+// ---------------------------------------------------------------------
+
+std::string RandomPattern(Rng* rng) {
+  static const char* atoms[] = {"a",    "b",     "c",    "\\d", "\\w",
+                                "[ab]", "[a-c]", "[^c]", "."};
+  static const char* quants[] = {"", "", "*", "+", "?", "{2}", "{1,3}"};
+  std::string p;
+  const int pieces = 1 + static_cast<int>(rng->NextBelow(5));
+  for (int i = 0; i < pieces; ++i) {
+    p += atoms[rng->NextBelow(std::size(atoms))];
+    p += quants[rng->NextBelow(std::size(quants))];
+  }
+  return p;
+}
+
+std::string RandomText(Rng* rng) {
+  static const char alphabet[] = "abc1 ";
+  std::string t;
+  const int len = static_cast<int>(rng->NextBelow(9));
+  for (int i = 0; i < len; ++i) {
+    t += alphabet[rng->NextBelow(5)];
+  }
+  return t;
+}
+
+class RegexDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegexDifferentialTest, FullMatchAgreesWithStdRegex) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string pattern = RandomPattern(&rng);
+    auto mine = Regex::Compile(pattern);
+    ASSERT_TRUE(mine.ok()) << pattern;
+    std::regex theirs(pattern, std::regex::ECMAScript);
+    for (int t = 0; t < 20; ++t) {
+      const std::string text = RandomText(&rng);
+      const bool my_answer = mine->FullMatch(text);
+      const bool their_answer = std::regex_match(text, theirs);
+      ASSERT_EQ(my_answer, their_answer)
+          << "pattern='" << pattern << "' text='" << text << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexDifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------
+// Tokenizer invariants on random byte strings.
+// ---------------------------------------------------------------------
+
+class TokenizerFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerFuzzTest, TokensAreNonEmptyOrderedSubstrings) {
+  Rng rng(GetParam());
+  static const char alphabet[] =
+      "ab:=/\\'\" .,;(){}[]<>?@&\t\n0129-_*xyzXYZ";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const int len = static_cast<int>(rng.NextBelow(60));
+    for (int i = 0; i < len; ++i) {
+      text += alphabet[rng.NextBelow(sizeof(alphabet) - 1)];
+    }
+    auto tokens = TokenizeDefault(text);
+    size_t cursor = 0;
+    for (std::string_view tok : tokens) {
+      ASSERT_FALSE(tok.empty()) << '"' << text << '"';
+      // Each token must be a substring of the input at or after the
+      // previous token's end (order preserved, no overlap).
+      const size_t pos = text.find(std::string(tok), cursor);
+      ASSERT_NE(pos, std::string::npos) << '"' << text << '"';
+      cursor = pos + tok.size();
+      // Tokens never contain hard delimiter characters.
+      for (char c : tok) {
+        ASSERT_EQ(std::string_view("\t\n ;=,(){}[]<>?@&'\"").find(c),
+                  std::string_view::npos)
+            << '"' << text << "\" token \"" << tok << '"';
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerFuzzTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------
+// Saturation invariants on random groups.
+// ---------------------------------------------------------------------
+
+std::vector<EncodedLog> RandomLogs(Rng* rng, size_t n, size_t m,
+                                   uint32_t vocab) {
+  std::vector<EncodedLog> logs(n);
+  for (auto& log : logs) {
+    log.count = 1;
+    for (size_t p = 0; p < m; ++p) {
+      const std::string tok =
+          "t" + std::to_string(p) + "_" + std::to_string(rng->NextBelow(vocab));
+      log.tokens.push_back(HashToken(tok));
+      log.token_texts.push_back(tok);
+    }
+  }
+  return logs;
+}
+
+class SaturationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SaturationPropertyTest, BoundedAndOneIffResolvedOrConfirmedVariable) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 2 + rng.NextBelow(12);
+    const size_t m = 1 + rng.NextBelow(8);
+    const uint32_t vocab = 1 + static_cast<uint32_t>(rng.NextBelow(6));
+    auto logs = RandomLogs(&rng, n, m, vocab);
+    std::vector<uint32_t> members(n);
+    for (uint32_t i = 0; i < n; ++i) members[i] = i;
+    const double s = ComputeSaturation(logs, members, {});
+    ASSERT_GE(s, 0.0);
+    ASSERT_LE(s, 1.0);
+    const PositionStats stats = ComputePositionStats(logs, members);
+    uint32_t unresolved_full = 0;
+    uint32_t unresolved = 0;
+    for (uint32_t nu : stats.distinct) {
+      if (nu <= 1) continue;
+      ++unresolved;
+      if (nu == stats.num_logs) ++unresolved_full;
+    }
+    if (stats.fully_resolved() ||
+        (unresolved == 1 && unresolved_full == 1)) {
+      ASSERT_DOUBLE_EQ(s, 1.0);
+    } else {
+      ASSERT_LT(s, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaturationPropertyTest,
+                         ::testing::Values(101, 202, 303));
+
+// ---------------------------------------------------------------------
+// Clustering partition invariant on random groups.
+// ---------------------------------------------------------------------
+
+class ClusterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClusterPropertyTest, OutcomeIsAlwaysAPartition) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 2 + rng.NextBelow(30);
+    const size_t m = 2 + rng.NextBelow(6);
+    auto logs = RandomLogs(&rng, n, m, 4);
+    // Dedup identical token rows (the clusterer's contract).
+    std::vector<uint32_t> members;
+    std::set<std::vector<uint64_t>> seen;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (seen.insert(logs[i].tokens).second) members.push_back(i);
+    }
+    if (members.size() < 2) continue;
+    const double parent = ComputeSaturation(logs, members, {});
+    Rng crng(trial * 7919 + GetParam());
+    auto outcome =
+        SingleClusteringProcess(logs, members, parent, {}, &crng);
+    if (!outcome.split) continue;
+    std::vector<uint32_t> all;
+    for (const auto& c : outcome.clusters) {
+      ASSERT_FALSE(c.empty());
+      all.insert(all.end(), c.begin(), c.end());
+    }
+    std::sort(all.begin(), all.end());
+    std::vector<uint32_t> expected = members;
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(all, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterPropertyTest,
+                         ::testing::Values(7, 77, 777));
+
+// ---------------------------------------------------------------------
+// Model serialization round-trip on random trees.
+// ---------------------------------------------------------------------
+
+class ModelRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModelRoundTripTest, SerializeDeserializeIsIdentity) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    TemplateModel model;
+    const size_t n = 1 + rng.NextBelow(40);
+    std::vector<TemplateId> ids;
+    for (size_t i = 0; i < n; ++i) {
+      const TemplateId parent =
+          ids.empty() || rng.NextBelow(4) == 0
+              ? kInvalidTemplateId
+              : ids[rng.NextBelow(ids.size())];
+      std::vector<std::string> tokens;
+      const size_t len = 1 + rng.NextBelow(6);
+      for (size_t t = 0; t < len; ++t) {
+        tokens.push_back(rng.NextBelow(3) == 0
+                             ? "*"
+                             : "w" + std::to_string(rng.NextBelow(12)));
+      }
+      ids.push_back(model.AddNode(parent, rng.NextDouble(), tokens,
+                                  rng.NextBelow(1000),
+                                  rng.NextBelow(8) == 0));
+    }
+    auto restored = TemplateModel::Deserialize(model.Serialize());
+    ASSERT_TRUE(restored.ok());
+    ASSERT_EQ(restored->size(), model.size());
+    ASSERT_EQ(restored->Serialize(), model.Serialize());
+    for (TemplateId id : ids) {
+      const TreeNode* a = model.node(id);
+      const TreeNode* b = restored->node(id);
+      ASSERT_EQ(a->parent, b->parent);
+      ASSERT_EQ(a->tokens, b->tokens);
+      ASSERT_EQ(a->children, b->children);
+      ASSERT_DOUBLE_EQ(a->saturation, b->saturation);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelRoundTripTest,
+                         ::testing::Values(13, 131, 1313));
+
+// ---------------------------------------------------------------------
+// Grouping accuracy metric properties.
+// ---------------------------------------------------------------------
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, RelabelingInvarianceAndSelfIdentity) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 1 + rng.NextBelow(200);
+    std::vector<uint32_t> gt(n);
+    for (auto& g : gt) g = static_cast<uint32_t>(rng.NextBelow(10));
+    // Identity: predicting gt itself scores 1.
+    std::vector<uint64_t> same(gt.begin(), gt.end());
+    ASSERT_DOUBLE_EQ(GroupingAccuracy(same, gt), 1.0);
+    // Invariance under bijective relabeling.
+    std::vector<uint64_t> relabeled(n);
+    for (size_t i = 0; i < n; ++i) relabeled[i] = Mix64(gt[i] + 7);
+    ASSERT_DOUBLE_EQ(GroupingAccuracy(relabeled, gt), 1.0);
+    // Any prediction scores within [0, 1].
+    std::vector<uint64_t> random(n);
+    for (auto& r : random) r = rng.NextBelow(5);
+    const double ga = GroupingAccuracy(random, gt);
+    ASSERT_GE(ga, 0.0);
+    ASSERT_LE(ga, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(3, 33, 333));
+
+// ---------------------------------------------------------------------
+// End-to-end: training-set matching is closed (every trained log
+// matches) across random corpora.
+// ---------------------------------------------------------------------
+
+class ParserClosureTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserClosureTest, EveryTrainingLogMatchesOnline) {
+  Rng rng(GetParam());
+  std::vector<std::string> logs;
+  const int templates = 3 + static_cast<int>(rng.NextBelow(10));
+  for (int i = 0; i < 400; ++i) {
+    const int t = static_cast<int>(rng.NextBelow(templates));
+    std::string log = "svc" + std::to_string(t) + " event";
+    const int vars = t % 3 + 1;
+    for (int v = 0; v < vars; ++v) {
+      log += " k" + std::to_string(v) + "=" +
+             std::to_string(rng.NextBelow(50));
+    }
+    logs.push_back(std::move(log));
+  }
+  ByteBrainOptions options;
+  options.trainer.num_threads = 2;
+  ByteBrainParser parser(options);
+  ASSERT_TRUE(parser.Train(logs).ok());
+  for (const std::string& log : logs) {
+    ASSERT_NE(parser.Match(log), kInvalidTemplateId) << log;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserClosureTest,
+                         ::testing::Values(5, 55, 555, 5555));
+
+}  // namespace
+}  // namespace bytebrain

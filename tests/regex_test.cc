@@ -1,0 +1,213 @@
+// Unit tests for the linear-time regex engine.
+#include <gtest/gtest.h>
+
+#include "regex/regex.h"
+
+namespace bytebrain {
+namespace {
+
+Regex MustCompile(std::string_view pattern) {
+  auto re = Regex::Compile(pattern);
+  EXPECT_TRUE(re.ok()) << pattern << ": " << re.status().ToString();
+  return std::move(re).value();
+}
+
+TEST(RegexTest, LiteralMatch) {
+  Regex re = MustCompile("error");
+  EXPECT_TRUE(re.FullMatch("error"));
+  EXPECT_FALSE(re.FullMatch("erro"));
+  EXPECT_FALSE(re.FullMatch("errors"));
+  RegexMatch m;
+  EXPECT_TRUE(re.Search("fatal error here", &m));
+  EXPECT_EQ(m.begin, 6u);
+  EXPECT_EQ(m.end, 11u);
+}
+
+TEST(RegexTest, AlternationPrefersLeftmost) {
+  Regex re = MustCompile("cat|dog");
+  RegexMatch m;
+  EXPECT_TRUE(re.Search("hotdog cat", &m));
+  EXPECT_EQ(m.begin, 3u);  // "dog" appears first
+}
+
+TEST(RegexTest, StarAndPlusAreGreedyLongest) {
+  Regex re = MustCompile("a+");
+  RegexMatch m;
+  EXPECT_TRUE(re.Search("baaac", &m));
+  EXPECT_EQ(m.begin, 1u);
+  EXPECT_EQ(m.end, 4u);
+  Regex re2 = MustCompile("ab*");
+  EXPECT_TRUE(re2.FullMatch("a"));
+  EXPECT_TRUE(re2.FullMatch("abbbb"));
+}
+
+TEST(RegexTest, Optional) {
+  Regex re = MustCompile("colou?r");
+  EXPECT_TRUE(re.FullMatch("color"));
+  EXPECT_TRUE(re.FullMatch("colour"));
+  EXPECT_FALSE(re.FullMatch("colouur"));
+}
+
+TEST(RegexTest, BoundedRepeat) {
+  Regex re = MustCompile("\\d{1,3}");
+  EXPECT_TRUE(re.FullMatch("7"));
+  EXPECT_TRUE(re.FullMatch("123"));
+  EXPECT_FALSE(re.FullMatch("1234"));
+  Regex re2 = MustCompile("x{3}");
+  EXPECT_TRUE(re2.FullMatch("xxx"));
+  EXPECT_FALSE(re2.FullMatch("xx"));
+  Regex re3 = MustCompile("x{2,}");
+  EXPECT_TRUE(re3.FullMatch("xxxxx"));
+  EXPECT_FALSE(re3.FullMatch("x"));
+}
+
+TEST(RegexTest, BraceNotQuantifierIsLiteral) {
+  // Common in log rules: "{}" placeholders are literal braces.
+  Regex re = MustCompile("WS\\{\\d+\\}");
+  EXPECT_TRUE(re.FullMatch("WS{10113}"));
+  Regex re2 = MustCompile("a{,3}");  // not a valid quantifier -> literal
+  EXPECT_TRUE(re2.FullMatch("a{,3}"));
+}
+
+TEST(RegexTest, CharClasses) {
+  Regex re = MustCompile("[a-f0-9]+");
+  EXPECT_TRUE(re.FullMatch("deadbeef42"));
+  EXPECT_FALSE(re.FullMatch("xyz"));
+  Regex neg = MustCompile("[^0-9]+");
+  EXPECT_TRUE(neg.FullMatch("abc"));
+  EXPECT_FALSE(neg.FullMatch("a1"));
+}
+
+TEST(RegexTest, ClassWithEscapesAndRanges) {
+  Regex re = MustCompile("[\\d_a-c]+");
+  EXPECT_TRUE(re.FullMatch("a1_b2c"));
+  EXPECT_FALSE(re.FullMatch("d"));
+  // ']' allowed as first member.
+  Regex re2 = MustCompile("[]x]+");
+  EXPECT_TRUE(re2.FullMatch("]x]"));
+}
+
+TEST(RegexTest, PredefinedClasses) {
+  EXPECT_TRUE(MustCompile("\\w+").FullMatch("under_score9"));
+  EXPECT_FALSE(MustCompile("\\w+").FullMatch("a b"));
+  EXPECT_TRUE(MustCompile("\\s+").FullMatch(" \t\n"));
+  EXPECT_TRUE(MustCompile("\\S+").FullMatch("solid"));
+  EXPECT_TRUE(MustCompile("\\D+").FullMatch("abc"));
+  EXPECT_FALSE(MustCompile("\\D+").FullMatch("a1"));
+}
+
+TEST(RegexTest, AnchorsRestrictMatches) {
+  Regex re = MustCompile("^abc$");
+  EXPECT_TRUE(re.FullMatch("abc"));
+  RegexMatch m;
+  EXPECT_FALSE(re.Search("xabc", &m));
+  Regex end = MustCompile("end$");
+  EXPECT_TRUE(end.Search("the end", &m));
+  EXPECT_FALSE(end.Search("end of it", &m));
+}
+
+TEST(RegexTest, Dot) {
+  Regex re = MustCompile("a.c");
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_TRUE(re.FullMatch("a c"));
+  EXPECT_FALSE(re.FullMatch("ac"));
+}
+
+TEST(RegexTest, Groups) {
+  Regex re = MustCompile("(ab)+c");
+  EXPECT_TRUE(re.FullMatch("ababc"));
+  EXPECT_FALSE(re.FullMatch("abac"));
+  Regex nc = MustCompile("(?:ab|cd)+");
+  EXPECT_TRUE(nc.FullMatch("abcdab"));
+}
+
+TEST(RegexTest, HexEscape) {
+  Regex re = MustCompile("\\x41+");
+  EXPECT_TRUE(re.FullMatch("AAA"));
+}
+
+TEST(RegexTest, FindAllNonOverlapping) {
+  Regex re = MustCompile("\\d+");
+  auto ms = re.FindAll("a12b345c6");
+  ASSERT_EQ(ms.size(), 3u);
+  EXPECT_EQ(ms[0].begin, 1u);
+  EXPECT_EQ(ms[0].end, 3u);
+  EXPECT_EQ(ms[1].begin, 4u);
+  EXPECT_EQ(ms[1].end, 7u);
+  EXPECT_EQ(ms[2].begin, 8u);
+}
+
+TEST(RegexTest, ReplaceAll) {
+  Regex re = MustCompile("\\d+");
+  EXPECT_EQ(re.ReplaceAll("a12b345", "<*>"), "a<*>b<*>");
+  EXPECT_EQ(re.ReplaceAll("nodigits", "<*>"), "nodigits");
+  EXPECT_EQ(re.ReplaceAll("", "<*>"), "");
+}
+
+TEST(RegexTest, ReplaceIpAddresses) {
+  Regex re = MustCompile("\\d{1,3}\\.\\d{1,3}\\.\\d{1,3}\\.\\d{1,3}(:\\d+)?");
+  EXPECT_EQ(re.ReplaceAll("src 10.0.4.18:50010 dst 10.0.4.19", "<*>"),
+            "src <*> dst <*>");
+}
+
+TEST(RegexTest, ReplaceUuid) {
+  Regex re = MustCompile(
+      "[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}");
+  EXPECT_EQ(
+      re.ReplaceAll("id=123e4567-e89b-12d3-a456-426614174000 ok", "<*>"),
+      "id=<*> ok");
+}
+
+TEST(RegexTest, LookaroundIsRejected) {
+  EXPECT_TRUE(Regex::Compile("a(?=b)").status().IsNotSupported());
+  EXPECT_TRUE(Regex::Compile("a(?!b)").status().IsNotSupported());
+  EXPECT_TRUE(Regex::Compile("(?<=a)b").status().IsNotSupported());
+  EXPECT_TRUE(Regex::Compile("(?<!a)b").status().IsNotSupported());
+}
+
+TEST(RegexTest, BackreferencesAreRejected) {
+  EXPECT_TRUE(Regex::Compile("(a)\\1").status().IsNotSupported());
+}
+
+TEST(RegexTest, SyntaxErrors) {
+  EXPECT_TRUE(Regex::Compile("(ab").status().IsInvalidArgument());
+  EXPECT_TRUE(Regex::Compile("ab)").status().IsInvalidArgument());
+  EXPECT_TRUE(Regex::Compile("[ab").status().IsInvalidArgument());
+  EXPECT_TRUE(Regex::Compile("*a").status().IsInvalidArgument());
+  EXPECT_TRUE(Regex::Compile("a\\").status().IsInvalidArgument());
+  EXPECT_TRUE(Regex::Compile("^*").status().IsInvalidArgument());
+}
+
+TEST(RegexTest, PathologicalPatternStaysLinear) {
+  // (a+)+b-style patterns are exponential under backtracking engines;
+  // the NFA simulation must stay fast. 64 a's with no final b.
+  Regex re = MustCompile("(a+)+b");
+  std::string text(64, 'a');
+  RegexMatch m;
+  EXPECT_FALSE(re.Search(text, &m));  // must return promptly
+}
+
+TEST(RegexTest, RepeatExpansionBounded) {
+  // 1000 * 1000 nested expansion must be rejected, not OOM.
+  auto re = Regex::Compile("(x{1000}){1000}");
+  EXPECT_TRUE(re.status().IsResourceExhausted() ||
+              re.status().IsInvalidArgument());
+}
+
+TEST(RegexTest, EmptyPatternMatchesEmpty) {
+  Regex re = MustCompile("");
+  EXPECT_TRUE(re.FullMatch(""));
+  EXPECT_FALSE(re.FullMatch("a"));
+  // Zero-width matches do not loop FindAll forever.
+  auto ms = re.FindAll("abc");
+  EXPECT_TRUE(ms.empty());
+}
+
+TEST(RegexTest, TimestampRule) {
+  Regex re = MustCompile("\\d{4}-\\d{2}-\\d{2} \\d{2}:\\d{2}:\\d{2}");
+  EXPECT_EQ(re.ReplaceAll("at 2026-06-10 12:30:00 done", "<TS>"),
+            "at <TS> done");
+}
+
+}  // namespace
+}  // namespace bytebrain

@@ -1,0 +1,217 @@
+// Integration tests for the cloud service layer: ingestion with online
+// matching, training triggers, queries at adjustable precision, anomaly
+// detection, and the topic catalog.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/generator.h"
+#include "service/log_service.h"
+
+namespace bytebrain {
+namespace {
+
+TopicConfig SmallConfig() {
+  TopicConfig config;
+  config.initial_train_records = 50;
+  config.train_interval_records = 10000;
+  config.train_volume_bytes = 64 * 1024 * 1024;
+  config.num_threads = 2;
+  return config;
+}
+
+std::string SshLog(int i) {
+  return "Accepted password for user" + std::to_string(i % 5) +
+         " from 10.0.0." + std::to_string(i % 9 + 1) + " port " +
+         std::to_string(40000 + i) + " ssh2";
+}
+
+std::string DiskLog(int i) {
+  return "Disk quota exceeded for volume vol" + std::to_string(i % 3);
+}
+
+TEST(ManagedTopicTest, FirstTrainingTriggersAtInitialThreshold) {
+  ManagedTopic topic("t", SmallConfig());
+  for (int i = 0; i < 49; ++i) {
+    ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());
+  }
+  EXPECT_FALSE(topic.trained());
+  ASSERT_TRUE(topic.Ingest(SshLog(49)).ok());
+  EXPECT_TRUE(topic.trained());
+  EXPECT_EQ(topic.stats().trainings, 1u);
+  EXPECT_GT(topic.stats().num_templates, 0u);
+  EXPECT_GT(topic.stats().model_bytes, 0u);
+}
+
+TEST(ManagedTopicTest, RecordsCarryTemplateIdsAfterTraining) {
+  ManagedTopic topic("t", SmallConfig());
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());
+  }
+  ASSERT_TRUE(topic.trained());
+  // Records in the training window are (re)assigned; later arrivals are
+  // matched online at ingestion.
+  size_t with_template = 0;
+  for (uint64_t seq = 0; seq < topic.topic().size(); ++seq) {
+    if (topic.topic().Read(seq)->template_id != kInvalidTemplateId) {
+      ++with_template;
+    }
+  }
+  EXPECT_EQ(with_template, topic.topic().size());
+}
+
+TEST(ManagedTopicTest, UnmatchedLogsAreAdoptedAsTemporaries) {
+  ManagedTopic topic("t", SmallConfig());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());
+  }
+  ASSERT_TRUE(topic.trained());
+  const auto before = topic.stats();
+  ASSERT_TRUE(topic.Ingest("never seen shape with words only").ok());
+  const auto after = topic.stats();
+  EXPECT_EQ(after.adopted_templates, before.adopted_templates + 1);
+  // The adopted template's metadata is published to the internal topic.
+  EXPECT_GT(topic.internal_topic().size(), 0u);
+}
+
+TEST(ManagedTopicTest, RetrainTriggersOnRecordInterval) {
+  TopicConfig config = SmallConfig();
+  config.train_interval_records = 100;
+  ManagedTopic topic("t", config);
+  for (int i = 0; i < 350; ++i) {
+    ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());
+  }
+  // 1 initial training (at 50) + retrains every 100 records after.
+  EXPECT_GE(topic.stats().trainings, 3u);
+}
+
+TEST(ManagedTopicTest, QueryGroupsByTemplate) {
+  ManagedTopic topic("t", SmallConfig());
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());
+    ASSERT_TRUE(topic.Ingest(DiskLog(i)).ok());
+  }
+  ASSERT_TRUE(topic.trained());
+  auto groups = topic.Query(0.5);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_GE(groups->size(), 2u);
+  // Groups ordered by descending count and cover every record.
+  uint64_t total = 0;
+  uint64_t prev = UINT64_MAX;
+  for (const auto& g : groups.value()) {
+    EXPECT_LE(g.count, prev);
+    prev = g.count;
+    total += g.count;
+    EXPECT_EQ(g.count, g.sequence_numbers.size());
+  }
+  EXPECT_EQ(total, topic.topic().size());
+}
+
+TEST(ManagedTopicTest, LowerThresholdCoarsensGroups) {
+  ManagedTopic topic("t", SmallConfig());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());
+    ASSERT_TRUE(topic.Ingest(DiskLog(i)).ok());
+  }
+  ASSERT_TRUE(topic.trained());
+  auto coarse = topic.Query(0.05);
+  auto fine = topic.Query(0.99);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_LE(coarse->size(), fine->size());
+}
+
+TEST(ManagedTopicTest, QueryWindowRestrictsRecords) {
+  ManagedTopic topic("t", SmallConfig());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());
+  }
+  auto windowed = topic.Query(0.5, 10, 20);
+  ASSERT_TRUE(windowed.ok());
+  uint64_t total = 0;
+  for (const auto& g : windowed.value()) {
+    total += g.count;
+    for (uint64_t seq : g.sequence_numbers) {
+      EXPECT_GE(seq, 10u);
+      EXPECT_LT(seq, 20u);
+    }
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ManagedTopicTest, DetectAnomaliesFindsNewTemplateAndSpike) {
+  ManagedTopic topic("t", SmallConfig());
+  // Window 1: only ssh logs.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());
+  }
+  const uint64_t w1_end = topic.topic().size();
+  // Window 2: ssh continues plus a brand-new error pattern burst.
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());
+    ASSERT_TRUE(
+        topic.Ingest("FATAL replication lag on shard " + std::to_string(i % 4))
+            .ok());
+  }
+  ASSERT_TRUE(topic.TrainNow().ok());
+  auto anomalies =
+      topic.DetectAnomalies(0, w1_end, w1_end, topic.topic().size());
+  ASSERT_TRUE(anomalies.ok());
+  bool found_new = false;
+  for (const auto& a : anomalies.value()) {
+    if (a.is_new && a.template_text.find("FATAL") != std::string::npos) {
+      found_new = true;
+      EXPECT_GT(a.count_after, 0u);
+    }
+  }
+  EXPECT_TRUE(found_new);
+}
+
+TEST(ManagedTopicTest, StatsAccumulate) {
+  ManagedTopic topic("t", SmallConfig());
+  uint64_t bytes = 0;
+  for (int i = 0; i < 60; ++i) {
+    std::string log = SshLog(i);
+    bytes += log.size();
+    ASSERT_TRUE(topic.Ingest(std::move(log)).ok());
+  }
+  const TopicStats stats = topic.stats();
+  EXPECT_EQ(stats.ingested_records, 60u);
+  EXPECT_EQ(stats.ingested_bytes, bytes);
+  EXPECT_GT(stats.last_training_seconds, 0.0);
+}
+
+TEST(LogServiceTest, TopicCatalog) {
+  LogService service;
+  auto t1 = service.CreateTopic("alpha");
+  ASSERT_TRUE(t1.ok());
+  auto t2 = service.CreateTopic("beta");
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(service.CreateTopic("alpha").status().IsAlreadyExists());
+  auto got = service.GetTopic("alpha");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), t1.value());
+  EXPECT_TRUE(service.GetTopic("gamma").status().IsNotFound());
+  EXPECT_EQ(service.TopicNames(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(LogServiceTest, EndToEndOnGeneratedDataset) {
+  LogService service;
+  TopicConfig config = SmallConfig();
+  config.initial_train_records = 500;
+  auto topic = service.CreateTopic("hdfs", config);
+  ASSERT_TRUE(topic.ok());
+  DatasetGenerator gen(*FindDatasetSpec("HDFS"));
+  Dataset ds = gen.GenerateLogHub();
+  for (const auto& log : ds.logs) {
+    ASSERT_TRUE(topic.value()->Ingest(log.text).ok());
+  }
+  EXPECT_TRUE(topic.value()->trained());
+  auto groups = topic.value()->Query(0.5);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_GT(groups->size(), 1u);
+  EXPECT_LT(groups->size(), 200u);  // far fewer groups than logs
+}
+
+}  // namespace
+}  // namespace bytebrain

@@ -1,0 +1,102 @@
+// Unit tests for the threading substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "threading/thread_pool.h"
+
+namespace bytebrain {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(1000, 8, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ParallelFor(0, 4, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  std::thread::id main_id = std::this_thread::get_id();
+  ParallelFor(10, 1, [main_id](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), main_id);
+  });
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int> count{0};
+  ParallelFor(3, 16, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelForShardsTest, ShardsArePartition) {
+  constexpr size_t kCount = 1003;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelForShards(kCount, 7, [&hits](size_t begin, size_t end) {
+    ASSERT_LE(begin, end);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  int total = 0;
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+    total += h.load();
+  }
+  EXPECT_EQ(total, static_cast<int>(kCount));
+}
+
+TEST(ParallelForTest, SumMatchesSequential) {
+  constexpr size_t kN = 4096;
+  std::vector<long> values(kN);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<long> sum{0};
+  ParallelFor(kN, 4, [&](size_t i) { sum.fetch_add(values[i]); });
+  EXPECT_EQ(sum.load(), static_cast<long>(kN * (kN - 1) / 2));
+}
+
+}  // namespace
+}  // namespace bytebrain

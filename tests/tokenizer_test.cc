@@ -1,0 +1,153 @@
+// Tests for the Listing-1 tokenizer: hand-rolled scanner semantics plus a
+// differential check against the regex-engine tokenizer.
+#include <gtest/gtest.h>
+
+#include "core/tokenizer.h"
+#include "datagen/generator.h"
+#include "util/rng.h"
+
+namespace bytebrain {
+namespace {
+
+std::vector<std::string> Tok(std::string_view s) {
+  std::vector<std::string> out;
+  for (auto v : TokenizeDefault(s)) out.emplace_back(v);
+  return out;
+}
+
+TEST(TokenizerTest, SplitsOnWhitespace) {
+  EXPECT_EQ(Tok("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TokenizerTest, SplitsOnEqualsAndComma) {
+  EXPECT_EQ(Tok("lock=2337, flg=0x0"),
+            (std::vector<std::string>{"lock", "2337", "flg", "0x0"}));
+}
+
+TEST(TokenizerTest, SplitsOnBracketsBracesParens) {
+  EXPECT_EQ(Tok("f(x) [y] {z}"),
+            (std::vector<std::string>{"f", "x", "y", "z"}));
+}
+
+TEST(TokenizerTest, UrlProtocolSeparator) {
+  // "://" is one delimiter; the path slash is kept inside the token.
+  EXPECT_EQ(Tok("http://host/path"),
+            (std::vector<std::string>{"http", "host/path"}));
+}
+
+TEST(TokenizerTest, ColonIsDelimiter) {
+  EXPECT_EQ(Tok("key:value"), (std::vector<std::string>{"key", "value"}));
+}
+
+TEST(TokenizerTest, PeriodBeforeSpaceSplitsButNumericPeriodSurvives) {
+  EXPECT_EQ(Tok("done. next"), (std::vector<std::string>{"done", "next"}));
+  EXPECT_EQ(Tok("pi is 3.14"), (std::vector<std::string>{"pi", "is", "3.14"}));
+  EXPECT_EQ(Tok("10.0.4.18"), (std::vector<std::string>{"10.0.4.18"}));
+}
+
+TEST(TokenizerTest, TrailingPeriodAtEndOfLine) {
+  EXPECT_EQ(Tok("finished."), (std::vector<std::string>{"finished"}));
+}
+
+TEST(TokenizerTest, QuotesAreDelimiters) {
+  EXPECT_EQ(Tok("tag=\"View Lock\""),
+            (std::vector<std::string>{"tag", "View", "Lock"}));
+  EXPECT_EQ(Tok("it's"), (std::vector<std::string>{"it", "s"}));
+}
+
+TEST(TokenizerTest, EscapedQuotes) {
+  EXPECT_EQ(Tok(R"(say \"hi\" now)"),
+            (std::vector<std::string>{"say", "hi", "now"}));
+}
+
+TEST(TokenizerTest, AngleAndAtAndAmp) {
+  EXPECT_EQ(Tok("a<b>c@d&e?f"),
+            (std::vector<std::string>{"a", "b", "c", "d", "e", "f"}));
+}
+
+TEST(TokenizerTest, EmptyAndAllDelims) {
+  EXPECT_TRUE(Tok("").empty());
+  EXPECT_TRUE(Tok("  ,;=  ").empty());
+}
+
+TEST(TokenizerTest, PreservesDashesSlashesUnderscores) {
+  EXPECT_EQ(Tok("blk_-123 /var/log a-b"),
+            (std::vector<std::string>{"blk_-123", "/var/log", "a-b"}));
+}
+
+TEST(TokenizerTest, PaperFigure1Example) {
+  auto toks = Tok("release:lock=2337, flg=0x0, tag=\"View Lock\", "
+                  "name=systemui, ws=null");
+  EXPECT_EQ(toks,
+            (std::vector<std::string>{"release", "lock", "2337", "flg", "0x0",
+                                      "tag", "View", "Lock", "name",
+                                      "systemui", "ws", "null"}));
+}
+
+TEST(TokenizerTest, IntoVariantMatchesAndAppendsAfterClear) {
+  std::vector<std::string_view> buf;
+  TokenizeDefaultInto("a b", &buf);
+  ASSERT_EQ(buf.size(), 2u);
+  buf.clear();
+  TokenizeDefaultInto("c", &buf);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], "c");
+}
+
+TEST(RegexTokenizerTest, CustomDelimiterRule) {
+  auto tok = RegexTokenizer::Create("[|]+");
+  ASSERT_TRUE(tok.ok());
+  auto parts = tok->Tokenize("a|b||c");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(RegexTokenizerTest, RejectsLookaround) {
+  EXPECT_TRUE(
+      RegexTokenizer::Create("(?=x)").status().IsNotSupported());
+}
+
+TEST(RegexTokenizerTest, DifferentialAgainstScanner) {
+  // The default scanner must agree with the engine running the paper's
+  // Listing-1 pattern on generated corpora.
+  auto tok = RegexTokenizer::Create(kDefaultTokenizerPattern);
+  ASSERT_TRUE(tok.ok()) << tok.status().ToString();
+  DatasetGenerator gen(*FindDatasetSpec("Linux"));
+  GenOptions opts;
+  opts.num_logs = 200;
+  opts.num_templates = 30;
+  Dataset ds = gen.Generate(opts);
+  for (const auto& log : ds.logs) {
+    auto fast = TokenizeDefault(log.text);
+    auto slow = tok->Tokenize(log.text);
+    ASSERT_EQ(fast.size(), slow.size()) << log.text;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i], slow[i]) << log.text;
+    }
+  }
+}
+
+TEST(RegexTokenizerTest, DifferentialOnHandWrittenEdgeCases) {
+  auto tok = RegexTokenizer::Create(kDefaultTokenizerPattern);
+  ASSERT_TRUE(tok.ok());
+  const char* cases[] = {
+      "a=b,c;d:e",
+      "http://x.y/z?q=1&r=2",
+      "end. New sentence. 3.14 stays",
+      "quoted \"x y\" and 'z'",
+      "nested (a [b {c} d] e)",
+      "trailing.",
+      "a\tb\nc\rd",
+      "<tag> @user &amp",
+  };
+  for (const char* c : cases) {
+    auto fast = TokenizeDefault(c);
+    auto slow = tok->Tokenize(c);
+    ASSERT_EQ(fast.size(), slow.size()) << c;
+    for (size_t i = 0; i < fast.size(); ++i) EXPECT_EQ(fast[i], slow[i]) << c;
+  }
+}
+
+}  // namespace
+}  // namespace bytebrain

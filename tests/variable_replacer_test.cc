@@ -1,0 +1,119 @@
+// Tests for common variable replacement (§4.1.2), including the
+// fast-scanner vs regex-path differential.
+#include <gtest/gtest.h>
+
+#include "core/variable_replacer.h"
+#include "datagen/generator.h"
+
+namespace bytebrain {
+namespace {
+
+TEST(BuiltinRecognizerTest, IsoTimestamp) {
+  EXPECT_EQ(MatchBuiltinVariable("2026-06-10 12:30:00,123 rest", 0), 23u);
+  EXPECT_EQ(MatchBuiltinVariable("2026-06-10T12:30:00.123456", 0), 26u);
+  EXPECT_EQ(MatchBuiltinVariable("2026-06-10 nodate", 0), 10u);
+  EXPECT_EQ(MatchBuiltinVariable("2026/06/10", 0), 10u);
+}
+
+TEST(BuiltinRecognizerTest, ClockTime) {
+  EXPECT_EQ(MatchBuiltinVariable("12:30:00", 0), 8u);
+  EXPECT_EQ(MatchBuiltinVariable("12:30:00.555", 0), 12u);
+  EXPECT_EQ(MatchBuiltinVariable("12:30", 0), 0u);
+}
+
+TEST(BuiltinRecognizerTest, Ipv4WithOptionalPort) {
+  EXPECT_EQ(MatchBuiltinVariable("10.0.4.18", 0), 9u);
+  EXPECT_EQ(MatchBuiltinVariable("10.0.4.18:50010", 0), 15u);
+  // Version-like dotted strings with a 5th group are not IPs.
+  EXPECT_EQ(MatchBuiltinVariable("1.2.3.4.5", 0), 0u);
+  EXPECT_EQ(MatchBuiltinVariable("1.2.3", 0), 0u);
+}
+
+TEST(BuiltinRecognizerTest, Uuid) {
+  EXPECT_EQ(
+      MatchBuiltinVariable("123e4567-e89b-12d3-a456-426614174000", 0), 36u);
+  EXPECT_EQ(MatchBuiltinVariable("123e4567-e89b-12d3-a456-42661417400", 0),
+            0u);  // 11-hex tail
+}
+
+TEST(BuiltinRecognizerTest, Md5AndHexLiterals) {
+  EXPECT_EQ(
+      MatchBuiltinVariable("d41d8cd98f00b204e9800998ecf8427e", 0), 32u);
+  EXPECT_EQ(MatchBuiltinVariable("0xdeadbeef", 0), 10u);
+  EXPECT_EQ(MatchBuiltinVariable("0x", 0), 0u);
+  // 31 hex chars is not an MD5.
+  EXPECT_EQ(MatchBuiltinVariable("d41d8cd98f00b204e9800998ecf8427", 0), 0u);
+}
+
+TEST(BuiltinRecognizerTest, WordBoundaries) {
+  // Embedded in a word: no match.
+  EXPECT_EQ(MatchBuiltinVariable("x12:30:00", 1), 0u);
+  EXPECT_EQ(MatchBuiltinVariable("12:30:00x", 0), 0u);
+}
+
+TEST(VariableReplacerTest, DefaultReplacesKnownKinds) {
+  VariableReplacer r = VariableReplacer::Default();
+  EXPECT_EQ(r.Replace("at 2026-06-10 12:30:00 from 10.0.4.18:50010"),
+            "at * from *");
+  EXPECT_EQ(r.Replace("id=123e4567-e89b-12d3-a456-426614174000 flags=0x1f"),
+            "id=* flags=*");
+}
+
+TEST(VariableReplacerTest, NoneLeavesTextAlone) {
+  VariableReplacer r = VariableReplacer::None();
+  const std::string s = "at 2026-06-10 12:30:00 from 10.0.4.18";
+  EXPECT_EQ(r.Replace(s), s);
+}
+
+TEST(VariableReplacerTest, UserRuleApplies) {
+  VariableReplacer r = VariableReplacer::None();
+  ASSERT_TRUE(r.AddRule("blk", "blk_\\d+").ok());
+  EXPECT_EQ(r.Replace("Received blk_12345 ok"), "Received * ok");
+  EXPECT_EQ(r.num_user_rules(), 1u);
+}
+
+TEST(VariableReplacerTest, UserRuleRejectsLookaround) {
+  VariableReplacer r = VariableReplacer::None();
+  EXPECT_TRUE(r.AddRule("bad", "(?=x)").IsNotSupported());
+}
+
+TEST(VariableReplacerTest, UserRulesComposeWithBuiltins) {
+  VariableReplacer r = VariableReplacer::Default();
+  ASSERT_TRUE(r.AddRule("blk", "blk_\\d+").ok());
+  EXPECT_EQ(r.Replace("blk_9 from 10.0.0.1"), "* from *");
+}
+
+TEST(VariableReplacerTest, FastAndRegexPathsAgree) {
+  VariableReplacer fast = VariableReplacer::Default();
+  VariableReplacer slow = VariableReplacer::Default();
+  slow.set_use_fast_builtins(false);
+  DatasetGenerator gen(*FindDatasetSpec("Hadoop"));
+  GenOptions opts;
+  opts.num_logs = 150;
+  opts.num_templates = 40;
+  opts.include_preamble = true;
+  Dataset ds = gen.Generate(opts);
+  for (const auto& log : ds.logs) {
+    EXPECT_EQ(fast.Replace(log.text), slow.Replace(log.text)) << log.text;
+  }
+}
+
+TEST(VariableReplacerTest, ReplaceIntoReusesBuffer) {
+  VariableReplacer r = VariableReplacer::Default();
+  std::string buf = "junk from a previous call";
+  r.ReplaceInto("port 10.1.2.3", &buf);
+  EXPECT_EQ(buf, "port *");
+}
+
+TEST(VariableReplacerTest, EmptyInput) {
+  VariableReplacer r = VariableReplacer::Default();
+  EXPECT_EQ(r.Replace(""), "");
+}
+
+TEST(VariableReplacerTest, AdjacentVariables) {
+  VariableReplacer r = VariableReplacer::Default();
+  EXPECT_EQ(r.Replace("10.0.0.1 10.0.0.2"), "* *");
+}
+
+}  // namespace
+}  // namespace bytebrain
