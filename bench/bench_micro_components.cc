@@ -10,6 +10,7 @@
 #include "core/tokenizer.h"
 #include "datagen/generator.h"
 #include "regex/regex.h"
+#include "service/log_service.h"
 
 namespace bytebrain {
 namespace {
@@ -142,6 +143,82 @@ void BM_OnlineMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OnlineMatch);
+
+void BM_OnlineMatchAll(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  ByteBrainOptions options;
+  options.trainer.num_threads = 2;
+  ByteBrainParser parser(options);
+  if (!parser.Train(logs).ok()) {
+    state.SkipWithError("training failed");
+    return;
+  }
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto ids = parser.MatchAll(logs, threads);
+    benchmark::DoNotOptimize(ids);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(logs.size()));
+}
+BENCHMARK(BM_OnlineMatchAll)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_TopicIngest(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  for (auto _ : state) {
+    state.PauseTiming();
+    TopicConfig config;
+    config.initial_train_records = 1024;
+    config.train_interval_records = 1u << 30;
+    config.train_volume_bytes = 1ull << 40;
+    ManagedTopic topic("bench", config);
+    // Pre-train on the first quarter so the timed region measures the
+    // steady-state (matched) ingest path, not training.
+    for (size_t i = 0; i < 1024; ++i) {
+      if (!topic.Ingest(std::string(logs[i])).ok()) {
+        state.SkipWithError("ingest failed");
+        return;
+      }
+    }
+    state.ResumeTiming();
+    for (size_t i = 1024; i < logs.size(); ++i) {
+      benchmark::DoNotOptimize(topic.Ingest(std::string(logs[i])));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(logs.size() - 1024));
+}
+BENCHMARK(BM_TopicIngest);
+
+void BM_TopicIngestBatch(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    TopicConfig config;
+    config.initial_train_records = 1024;
+    config.train_interval_records = 1u << 30;
+    config.train_volume_bytes = 1ull << 40;
+    ManagedTopic topic("bench", config);
+    for (size_t i = 0; i < 1024; ++i) {
+      if (!topic.Ingest(std::string(logs[i])).ok()) {
+        state.SkipWithError("ingest failed");
+        return;
+      }
+    }
+    state.ResumeTiming();
+    for (size_t begin = 1024; begin < logs.size();) {
+      const size_t len = std::min(batch_size, logs.size() - begin);
+      std::vector<std::string> chunk(logs.begin() + begin,
+                                     logs.begin() + begin + len);
+      benchmark::DoNotOptimize(topic.IngestBatch(std::move(chunk)));
+      begin += len;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(logs.size() - 1024));
+}
+BENCHMARK(BM_TopicIngestBatch)->Arg(256)->Arg(1024);
 
 void BM_RegexSearchLinear(benchmark::State& state) {
   // Pathological pattern that kills backtracking engines; the NFA must

@@ -4,99 +4,257 @@
 
 #include "core/tokenizer.h"
 #include "threading/thread_pool.h"
-#include "util/hashing.h"
 
 namespace bytebrain {
 
+namespace {
+// Candidate lists longer than this are split into a refinement trie on
+// the next discriminating constant position. Small on purpose: most
+// buckets index down to a handful of templates on the first key alone.
+constexpr size_t kTrieLeafMax = 8;
+
+constexpr uint64_t KeyOf(uint32_t pos, uint32_t token_id) {
+  return (static_cast<uint64_t>(pos) << 32) | token_id;
+}
+}  // namespace
+
 TemplateMatcher::TemplateMatcher(const TemplateModel& model,
                                  const VariableReplacer* replacer)
-    : replacer_(replacer) {
+    : table_(model.token_table()), replacer_(replacer) {
   entries_.reserve(model.size());
   for (const TreeNode& n : model.nodes()) {
-    entries_.push_back({n.id, n.saturation, n.tokens});
+    entries_.push_back({n.id, n.saturation, n.token_ids});
   }
-  // Descending saturation: the most precise templates are tried first
-  // (§4.8); ties break toward higher support-by-id stability.
-  std::vector<uint32_t> order(entries_.size());
-  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [this](uint32_t a, uint32_t b) {
-                     return entries_[a].saturation > entries_[b].saturation;
+  // Store entries pre-sorted by descending saturation so entry-index
+  // order encodes the stable tie-break; the most precise templates are
+  // tried first (§4.8).
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.saturation > b.saturation;
                    });
-  for (uint32_t idx : order) {
-    const Entry& e = entries_[idx];
-    Bucket& bucket = buckets_[e.tokens.size()];
-    if (!e.tokens.empty() && e.tokens.front() != kWildcard) {
-      bucket.by_first_token[HashToken(e.tokens.front())].push_back(idx);
-    } else {
-      bucket.wildcard_first.push_back(idx);
-    }
-  }
+  for (uint32_t i = 0; i < entries_.size(); ++i) IndexEntry(i);
 }
 
 void TemplateMatcher::Insert(const TreeNode& node) {
   const uint32_t idx = static_cast<uint32_t>(entries_.size());
-  entries_.push_back({node.id, node.saturation, node.tokens});
-  const Entry& e = entries_.back();
-  Bucket& bucket = buckets_[e.tokens.size()];
-  std::vector<uint32_t>* list;
-  if (!e.tokens.empty() && e.tokens.front() != kWildcard) {
-    list = &bucket.by_first_token[HashToken(e.tokens.front())];
-  } else {
-    list = &bucket.wildcard_first;
-  }
-  // Keep the candidate list sorted by descending saturation.
-  auto pos = std::upper_bound(list->begin(), list->end(), idx,
-                              [this](uint32_t a, uint32_t b) {
-                                return entries_[a].saturation >
-                                       entries_[b].saturation;
-                              });
-  list->insert(pos, idx);
+  entries_.push_back({node.id, node.saturation, node.token_ids});
+  IndexEntry(idx);
 }
 
-bool TemplateMatcher::Matches(
-    const Entry& e, const std::vector<std::string_view>& tokens) const {
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    const std::string& t = e.tokens[i];
-    if (t != kWildcard && t != tokens[i]) return false;
+void TemplateMatcher::IndexEntry(uint32_t idx) {
+  const Entry& e = entries_[idx];
+  const size_t len = e.token_ids.size();
+  if (len >= buckets_.size()) buckets_.resize(len + 1);
+  if (buckets_[len] == nullptr) buckets_[len] = std::make_unique<Bucket>();
+  Bucket& bucket = *buckets_[len];
+
+  uint32_t first_const = TrieNode::kLeaf;
+  for (uint32_t p = 0; p < e.token_ids.size(); ++p) {
+    if (e.token_ids[p] != TokenTable::kWildcardId) {
+      first_const = p;
+      break;
+    }
+  }
+  if (first_const == TrieNode::kLeaf) {
+    auto& list = bucket.all_wildcard;
+    list.insert(std::upper_bound(list.begin(), list.end(), idx,
+                                 [this](uint32_t a, uint32_t b) {
+                                   return TryBefore(a, b);
+                                 }),
+                idx);
+    return;
+  }
+
+  const auto kp_it = std::lower_bound(bucket.key_positions.begin(),
+                                      bucket.key_positions.end(), first_const);
+  if (kp_it == bucket.key_positions.end() || *kp_it != first_const) {
+    bucket.key_positions.insert(kp_it, first_const);
+  }
+  const uint64_t key = KeyOf(first_const, e.token_ids[first_const]);
+  auto it = std::lower_bound(
+      bucket.keyed.begin(), bucket.keyed.end(), key,
+      [](const auto& kv, uint64_t k) { return kv.first < k; });
+  if (it == bucket.keyed.end() || it->first != key) {
+    it = bucket.keyed.emplace(it, key, std::make_unique<TrieNode>());
+  }
+  InsertIntoTrie(it->second.get(), idx);
+}
+
+void TemplateMatcher::InsertIntoTrie(TrieNode* node, uint32_t idx) {
+  const Entry& e = entries_[idx];
+  while (node->key_pos != TrieNode::kLeaf) {
+    const uint32_t tid = e.token_ids[node->key_pos];
+    if (tid == TokenTable::kWildcardId) {
+      if (node->wild == nullptr) node->wild = std::make_unique<TrieNode>();
+      node = node->wild.get();
+    } else {
+      auto& child = node->children[tid];
+      if (child == nullptr) child = std::make_unique<TrieNode>();
+      node = child.get();
+    }
+  }
+  auto& list = node->entries;
+  list.insert(std::upper_bound(list.begin(), list.end(), idx,
+                               [this](uint32_t a, uint32_t b) {
+                                 return TryBefore(a, b);
+                               }),
+              idx);
+  if (list.size() > kTrieLeafMax) MaybeSplitLeaf(node);
+}
+
+void TemplateMatcher::MaybeSplitLeaf(TrieNode* node) {
+  const std::vector<uint32_t>& members = node->entries;
+  const size_t len = entries_[members.front()].token_ids.size();
+  const size_t total = members.size();
+
+  // Pick the position whose split minimizes the largest resulting group;
+  // positions uniform across members (one group) cannot split.
+  uint32_t best_pos = TrieNode::kLeaf;
+  size_t best_largest = total;
+  std::unordered_map<uint32_t, size_t> counts;
+  for (uint32_t pos = 0; pos < len; ++pos) {
+    counts.clear();
+    size_t wild_count = 0;
+    for (uint32_t m : members) {
+      const uint32_t tid = entries_[m].token_ids[pos];
+      if (tid == TokenTable::kWildcardId) {
+        ++wild_count;
+      } else {
+        ++counts[tid];
+      }
+    }
+    const size_t groups = counts.size() + (wild_count > 0 ? 1 : 0);
+    if (groups < 2) continue;
+    size_t largest = wild_count;
+    for (const auto& [tid, c] : counts) largest = std::max(largest, c);
+    if (largest < best_largest) {
+      best_largest = largest;
+      best_pos = pos;
+    }
+  }
+  if (best_pos == TrieNode::kLeaf) return;  // no discriminating position
+
+  std::vector<uint32_t> moved = std::move(node->entries);
+  node->entries.clear();
+  node->key_pos = best_pos;
+  // Re-inserting in list order preserves the sorted try order in every
+  // child leaf.
+  for (uint32_t m : moved) {
+    const uint32_t tid = entries_[m].token_ids[best_pos];
+    TrieNode* dst;
+    if (tid == TokenTable::kWildcardId) {
+      if (node->wild == nullptr) node->wild = std::make_unique<TrieNode>();
+      dst = node->wild.get();
+    } else {
+      auto& child = node->children[tid];
+      if (child == nullptr) child = std::make_unique<TrieNode>();
+      dst = child.get();
+    }
+    dst->entries.push_back(m);
+  }
+  for (auto& [tid, child] : node->children) {
+    if (child->entries.size() > kTrieLeafMax) MaybeSplitLeaf(child.get());
+  }
+  if (node->wild != nullptr && node->wild->entries.size() > kTrieLeafMax) {
+    MaybeSplitLeaf(node->wild.get());
+  }
+}
+
+void TemplateMatcher::CollectCandidates(
+    const TrieNode& node, const std::vector<uint32_t>& ids,
+    std::vector<const std::vector<uint32_t>*>* lists) const {
+  if (node.key_pos == TrieNode::kLeaf) {
+    if (!node.entries.empty()) lists->push_back(&node.entries);
+    return;
+  }
+  const auto it = node.children.find(ids[node.key_pos]);
+  if (it != node.children.end()) CollectCandidates(*it->second, ids, lists);
+  if (node.wild != nullptr) CollectCandidates(*node.wild, ids, lists);
+}
+
+bool TemplateMatcher::Matches(const Entry& e,
+                              const std::vector<uint32_t>& ids) const {
+  const uint32_t* t = e.token_ids.data();
+  const uint32_t* l = ids.data();
+  const size_t n = ids.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (t[i] != TokenTable::kWildcardId && t[i] != l[i]) return false;
   }
   return true;
 }
 
-TemplateId TemplateMatcher::Match(std::string_view raw_log) const {
-  std::string replaced;
-  replacer_->ReplaceInto(raw_log, &replaced);
-  std::vector<std::string_view> tokens;
-  TokenizeDefaultInto(replaced, &tokens);
-
-  const auto bucket_it = buckets_.find(tokens.size());
-  if (bucket_it == buckets_.end()) return kInvalidTemplateId;
-  const Bucket& bucket = bucket_it->second;
-
-  const std::vector<uint32_t>* keyed = nullptr;
-  if (!tokens.empty()) {
-    const auto it = bucket.by_first_token.find(HashToken(tokens.front()));
-    if (it != bucket.by_first_token.end()) keyed = &it->second;
+TemplateId TemplateMatcher::MatchIds(const std::vector<uint32_t>& ids,
+                                     MatchScratch* scratch) const {
+  if (ids.size() >= buckets_.size() || buckets_[ids.size()] == nullptr) {
+    return kInvalidTemplateId;
   }
+  const Bucket& bucket = *buckets_[ids.size()];
 
-  // Both candidate lists are sorted by descending saturation; merge-scan
-  // them so the overall try-order matches the single-list semantics.
-  size_t ki = 0;
-  size_t wi = 0;
-  const size_t kn = keyed != nullptr ? keyed->size() : 0;
-  const size_t wn = bucket.wildcard_first.size();
-  while (ki < kn || wi < wn) {
-    uint32_t idx;
-    if (ki < kn &&
-        (wi >= wn || entries_[(*keyed)[ki]].saturation >=
-                         entries_[bucket.wildcard_first[wi]].saturation)) {
-      idx = (*keyed)[ki++];
-    } else {
-      idx = bucket.wildcard_first[wi++];
+  auto& lists = scratch->lists;
+  lists.clear();
+  for (uint32_t kp : bucket.key_positions) {
+    const uint64_t key = KeyOf(kp, ids[kp]);
+    const auto it = std::lower_bound(
+        bucket.keyed.begin(), bucket.keyed.end(), key,
+        [](const auto& kv, uint64_t k) { return kv.first < k; });
+    if (it != bucket.keyed.end() && it->first == key) {
+      CollectCandidates(*it->second, ids, &lists);
     }
-    if (Matches(entries_[idx], tokens)) return entries_[idx].id;
   }
-  return kInvalidTemplateId;
+  if (!bucket.all_wildcard.empty()) lists.push_back(&bucket.all_wildcard);
+
+  if (lists.empty()) return kInvalidTemplateId;
+  if (lists.size() == 1) {
+    for (uint32_t idx : *lists[0]) {
+      if (Matches(entries_[idx], ids)) return entries_[idx].id;
+    }
+    return kInvalidTemplateId;
+  }
+
+  // K-way merge across the (few) candidate lists so the overall try order
+  // stays descending-saturation with stable ties.
+  auto& cursors = scratch->cursors;
+  cursors.assign(lists.size(), 0);
+  while (true) {
+    size_t best_list = lists.size();
+    uint32_t best_idx = 0;
+    for (size_t li = 0; li < lists.size(); ++li) {
+      if (cursors[li] >= lists[li]->size()) continue;
+      const uint32_t idx = (*lists[li])[cursors[li]];
+      if (best_list == lists.size() || TryBefore(idx, best_idx)) {
+        best_list = li;
+        best_idx = idx;
+      }
+    }
+    if (best_list == lists.size()) return kInvalidTemplateId;
+    ++cursors[best_list];
+    if (Matches(entries_[best_idx], ids)) return entries_[best_idx].id;
+  }
+}
+
+TemplateId TemplateMatcher::Match(std::string_view raw_log,
+                                  MatchScratch* scratch) const {
+  scratch->ids.clear();
+  if (replacer_->fused_fast_path()) {
+    // One pass over the raw text: replace + tokenize + hash + intern
+    // lookup, with no replaced-text copy.
+    TokenizeReplacedIdsInto(raw_log, *table_, &scratch->replaced,
+                            &scratch->ids);
+  } else {
+    replacer_->ReplaceInto(raw_log, &scratch->replaced);
+    scratch->tokens.clear();
+    TokenizeDefaultInto(scratch->replaced, &scratch->tokens);
+    scratch->ids.reserve(scratch->tokens.size());
+    for (std::string_view tok : scratch->tokens) {
+      scratch->ids.push_back(table_->Lookup(tok));
+    }
+  }
+  return MatchIds(scratch->ids, scratch);
+}
+
+TemplateId TemplateMatcher::Match(std::string_view raw_log) const {
+  thread_local MatchScratch scratch;
+  return Match(raw_log, &scratch);
 }
 
 std::vector<TemplateId> TemplateMatcher::MatchAll(
@@ -105,8 +263,9 @@ std::vector<TemplateId> TemplateMatcher::MatchAll(
   ParallelForShards(raw_logs.size(),
                     static_cast<size_t>(std::max(1, num_threads)),
                     [&](size_t begin, size_t end) {
+                      MatchScratch scratch;
                       for (size_t i = begin; i < end; ++i) {
-                        out[i] = Match(raw_logs[i]);
+                        out[i] = Match(raw_logs[i], &scratch);
                       }
                     });
   return out;

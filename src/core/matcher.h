@@ -1,32 +1,53 @@
 // Online matching (paper §4.8).
 //
-// Incoming logs are matched directly against template TEXTS — not by
-// re-walking the clustering tree with distance computations — so the
-// model needs no per-node token statistics. Templates are tried in
-// descending saturation order; a log matches a template when every
-// position equals the template token or the template token is the
-// wildcard. Templates are bucketed by token count (a log can only match
-// equal-length templates) and indexed by their first constant token to
-// cut the candidate list.
+// Incoming logs are matched directly against template token-id arrays —
+// not by re-walking the clustering tree with distance computations — so
+// the model needs no per-node token statistics. Template tokens are
+// interned once (core/token_table.h); the per-position test is a single
+// integer comparison ("wildcard or equal"). Templates are tried in
+// descending saturation order; ties break toward earlier entries, which
+// reproduces the stable order of a plain sorted list.
+//
+// Candidate pruning is two-level:
+//  * bucket by token count (a log only matches equal-length templates);
+//  * within a bucket, a keyed index over each template's FIRST
+//    NON-WILDCARD position: key (position, token id) -> candidates. A
+//    log probes one key per distinct first-constant position present in
+//    the bucket (usually just position 0). Oversized candidate lists
+//    fall back to a small trie over subsequent constant positions.
+// Templates with no constant token at all are always candidates.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "core/model.h"
+#include "core/token_table.h"
 #include "core/variable_replacer.h"
 
 namespace bytebrain {
 
-/// Immutable matcher snapshot built from a model. Rebuild after retrain /
-/// merge; cheap relative to training. Thread-safe for concurrent Match.
+/// Matcher snapshot built from a model. Rebuild after retrain / merge;
+/// cheap relative to training. Thread-safe for concurrent Match.
 class TemplateMatcher {
  public:
+  /// Reusable per-thread scratch for the match hot path: with a
+  /// caller-owned scratch the per-log path performs no heap allocation
+  /// in steady state. Match() without a scratch uses a thread_local one.
+  struct MatchScratch {
+    std::string replaced;
+    std::vector<std::string_view> tokens;
+    std::vector<uint32_t> ids;
+    std::vector<const std::vector<uint32_t>*> lists;
+    std::vector<size_t> cursors;
+  };
+
   /// `replacer` preprocesses incoming logs exactly as training did; it
-  /// must outlive the matcher.
+  /// must outlive the matcher. The matcher shares the model's TokenTable.
   TemplateMatcher(const TemplateModel& model,
                   const VariableReplacer* replacer);
 
@@ -34,13 +55,19 @@ class TemplateMatcher {
   /// kInvalidTemplateId when nothing matches.
   TemplateId Match(std::string_view raw_log) const;
 
+  /// Match with caller-owned scratch buffers (allocation-free once the
+  /// scratch is warm).
+  TemplateId Match(std::string_view raw_log, MatchScratch* scratch) const;
+
   /// Match a batch across `num_threads` processing queues (§3 "the system
   /// distributes matching tasks across multiple processing queues").
   std::vector<TemplateId> MatchAll(const std::vector<std::string>& raw_logs,
                                    int num_threads) const;
 
-  /// Adds one template (an adopted temporary, §3) without rebuilding.
-  /// NOT thread-safe against concurrent Match calls; callers serialize.
+  /// Adds one template (an adopted temporary, §3) without rebuilding. The
+  /// node must come from the same model (its token_ids must be interned
+  /// in the shared table). NOT thread-safe against concurrent Match
+  /// calls; callers serialize.
   void Insert(const TreeNode& node);
 
   size_t num_templates() const { return entries_.size(); }
@@ -49,20 +76,57 @@ class TemplateMatcher {
   struct Entry {
     TemplateId id;
     double saturation;
-    std::vector<std::string> tokens;  // kWildcard marks variables
-  };
-  struct Bucket {
-    // Entry indices sorted by descending saturation, split by whether the
-    // first token is constant (indexed) or a wildcard (always tried).
-    std::unordered_map<uint64_t, std::vector<uint32_t>> by_first_token;
-    std::vector<uint32_t> wildcard_first;
+    std::vector<uint32_t> token_ids;  // kWildcardId marks variables
   };
 
-  bool Matches(const Entry& e,
-               const std::vector<std::string_view>& tokens) const;
+  /// Refinement trie node: either a leaf holding candidate entry indices
+  /// in try order, or an interior node splitting on the token id at
+  /// `key_pos` (entries with a wildcard there go to `wild`, which is a
+  /// candidate for every log).
+  struct TrieNode {
+    static constexpr uint32_t kLeaf = 0xFFFFFFFFu;
+    uint32_t key_pos = kLeaf;
+    std::vector<uint32_t> entries;  // leaf payload, sorted by try order
+    std::unordered_map<uint32_t, std::unique_ptr<TrieNode>> children;
+    std::unique_ptr<TrieNode> wild;
+  };
+
+  struct Bucket {
+    // (first non-wildcard position << 32 | token id) -> candidates.
+    // Sorted flat vector: buckets hold few keys, so a binary search
+    // beats a node-based hash map's pointer chase on the hot path.
+    std::vector<std::pair<uint64_t, std::unique_ptr<TrieNode>>> keyed;
+    // Distinct first-constant positions present in `keyed`, ascending:
+    // the per-log probe set.
+    std::vector<uint32_t> key_positions;
+    // Templates whose every position is a wildcard: always candidates.
+    std::vector<uint32_t> all_wildcard;
+  };
+
+  /// Global try order: descending saturation, ties toward the smaller
+  /// entry index. Entries are stored pre-sorted by this order at
+  /// construction, so index order encodes tie-breaks.
+  bool TryBefore(uint32_t a, uint32_t b) const {
+    if (entries_[a].saturation != entries_[b].saturation) {
+      return entries_[a].saturation > entries_[b].saturation;
+    }
+    return a < b;
+  }
+
+  void IndexEntry(uint32_t idx);
+  void InsertIntoTrie(TrieNode* node, uint32_t idx);
+  void MaybeSplitLeaf(TrieNode* node);
+  void CollectCandidates(const TrieNode& node,
+                         const std::vector<uint32_t>& ids,
+                         std::vector<const std::vector<uint32_t>*>* lists) const;
+  bool Matches(const Entry& e, const std::vector<uint32_t>& ids) const;
+  TemplateId MatchIds(const std::vector<uint32_t>& ids,
+                      MatchScratch* scratch) const;
 
   std::vector<Entry> entries_;
-  std::unordered_map<size_t, Bucket> buckets_;  // token count -> bucket
+  // Indexed by token count; null where no template has that length.
+  std::vector<std::unique_ptr<Bucket>> buckets_;
+  std::shared_ptr<const TokenTable> table_;
   const VariableReplacer* replacer_;
 };
 

@@ -33,6 +33,10 @@ TemplateId TemplateModel::AddNode(TemplateId parent, double saturation,
   node.parent = parent;
   node.saturation = saturation;
   node.tokens = std::move(tokens);
+  node.token_ids.reserve(node.tokens.size());
+  for (const std::string& t : node.tokens) {
+    node.token_ids.push_back(token_table_->Intern(t));
+  }
   node.support = support;
   node.temporary = temporary;
   if (parent == kInvalidTemplateId) {
@@ -236,10 +240,12 @@ Result<TemplateModel> TemplateModel::Deserialize(std::string_view bytes) {
     if (n.id != i + 1) return Status::Corruption("non-dense node ids");
     n.temporary = temporary != 0;
     n.tokens.resize(num_tokens);
+    n.token_ids.reserve(num_tokens);
     for (uint32_t t = 0; t < num_tokens; ++t) {
       if (!r.GetString(&n.tokens[t])) {
         return Status::Corruption("truncated token");
       }
+      n.token_ids.push_back(model.token_table_->Intern(n.tokens[t]));
     }
     model.nodes_.push_back(std::move(n));
   }

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/token_table.h"
 #include "logstore/log_record.h"
 #include "logstore/log_topic.h"
 #include "util/status.h"
@@ -26,6 +28,10 @@ struct TreeNode {
   double saturation = 0.0;
   /// Template tokens; kWildcard ("*") marks variable positions.
   std::vector<std::string> tokens;
+  /// The same tokens interned in the owning model's TokenTable
+  /// (TokenTable::kWildcardId marks variable positions). Maintained by
+  /// AddNode so the matcher can be built without re-interning.
+  std::vector<uint32_t> token_ids;
   /// Training logs (raw count, duplicates included) under this node.
   uint64_t support = 0;
   /// True for templates adopted online from unmatched logs (§3); they are
@@ -44,7 +50,7 @@ double TemplateSimilarity(const std::vector<std::string>& a,
 /// The trained model: a forest of clustering trees.
 class TemplateModel {
  public:
-  TemplateModel() = default;
+  TemplateModel() : token_table_(std::make_shared<TokenTable>()) {}
 
   /// Adds a node; parent = 0 creates a root. Returns the new id.
   TemplateId AddNode(TemplateId parent, double saturation,
@@ -95,6 +101,15 @@ class TemplateModel {
   /// Publishes every node's metadata into an internal topic (§3).
   void ExportTo(InternalTopic* topic) const;
 
+  /// The interner holding every template token of this model. Shared with
+  /// matchers built from the model: AdoptTemporary interns new tokens into
+  /// the same table so TemplateMatcher::Insert needs no re-interning.
+  /// Mutations (AddNode/AdoptTemporary/MergeFrom) must be serialized with
+  /// concurrent matcher lookups by the caller.
+  const std::shared_ptr<TokenTable>& token_table() const {
+    return token_table_;
+  }
+
  private:
   TreeNode* mutable_node(TemplateId id);
   TemplateId CopySubtree(const TemplateModel& src, TemplateId src_id,
@@ -102,6 +117,7 @@ class TemplateModel {
 
   std::vector<TreeNode> nodes_;  // nodes_[i].id == i + 1
   std::vector<TemplateId> roots_;
+  std::shared_ptr<TokenTable> token_table_;
 };
 
 }  // namespace bytebrain

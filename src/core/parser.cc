@@ -57,7 +57,9 @@ std::vector<TemplateId> ByteBrainParser::MatchAll(
   return matcher_->MatchAll(logs, num_threads);
 }
 
-TemplateId ByteBrainParser::MatchOrAdopt(std::string_view log) {
+TemplateId ByteBrainParser::MatchOrAdopt(std::string_view log,
+                                         bool* adopted) {
+  if (adopted != nullptr) *adopted = false;
   const TemplateId id = Match(log);
   if (id != kInvalidTemplateId) return id;
   std::lock_guard<std::mutex> lock(adopt_mu_);
@@ -68,15 +70,16 @@ TemplateId ByteBrainParser::MatchOrAdopt(std::string_view log) {
   std::string replaced = replacer_.Replace(log);
   std::vector<std::string_view> views = TokenizeDefault(replaced);
   std::vector<std::string> tokens(views.begin(), views.end());
-  const TemplateId adopted = model_.AdoptTemporary(std::move(tokens));
+  const TemplateId adopted_id = model_.AdoptTemporary(std::move(tokens));
   // Incremental insert: adoption happens on the ingestion hot path, a
   // full matcher rebuild there would be O(model size) per miss.
   if (matcher_ != nullptr) {
-    matcher_->Insert(*model_.node(adopted));
+    matcher_->Insert(*model_.node(adopted_id));
   } else {
     RebuildMatcher();
   }
-  return adopted;
+  if (adopted != nullptr) *adopted = true;
+  return adopted_id;
 }
 
 Result<TemplateId> ByteBrainParser::ResolveAtThreshold(

@@ -64,8 +64,12 @@ class ByteBrainParser {
                                    int num_threads) const;
 
   /// Like Match, but a miss inserts the log itself as a temporary
-  /// template and returns its new id (§3 "Online Matching").
-  TemplateId MatchOrAdopt(std::string_view log);
+  /// template and returns its new id (§3 "Online Matching"). When
+  /// `adopted` is non-null it is set to true iff this call created a new
+  /// temporary template — callers needing that signal must not re-Match
+  /// (the old probe-then-adopt dance matched every log up to three
+  /// times).
+  TemplateId MatchOrAdopt(std::string_view log, bool* adopted = nullptr);
 
   /// Query-time precision adjustment (§3 "Query").
   Result<TemplateId> ResolveAtThreshold(TemplateId id,

@@ -1,0 +1,47 @@
+#include "core/token_table.h"
+
+#include "core/variable_replacer.h"
+
+namespace bytebrain {
+
+namespace {
+// Initial slot count; must be a power of two. Grown at 50% load so linear
+// probes stay short.
+constexpr size_t kInitialSlots = 64;
+}  // namespace
+
+TokenTable::TokenTable() : slots_(kInitialSlots), mask_(kInitialSlots - 1) {
+  // The wildcard must get id 0 so matchers can test "wildcard or equal"
+  // with a single comparison against the log token's id.
+  Intern(kWildcard);
+}
+
+uint32_t TokenTable::Intern(std::string_view token) {
+  const uint64_t hash = HashOf(token);
+  size_t slot = static_cast<size_t>(hash) & mask_;
+  while (slots_[slot].id != kUnknownId) {
+    const Slot& s = slots_[slot];
+    if (s.hash == hash && s.text == token) return s.id;
+    slot = (slot + 1) & mask_;
+  }
+  const uint32_t id = static_cast<uint32_t>(texts_.size());
+  texts_.emplace_back(token);
+  slots_[slot] = {hash, std::string_view(texts_.back()), id};
+  bytes_ += token.size() + sizeof(Slot);
+  if (texts_.size() * 2 > slots_.size()) Grow();
+  return id;
+}
+
+void TokenTable::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.id == kUnknownId) continue;
+    size_t slot = static_cast<size_t>(s.hash) & mask_;
+    while (slots_[slot].id != kUnknownId) slot = (slot + 1) & mask_;
+    slots_[slot] = s;
+  }
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,134 @@
+// Token interning (the matcher's dictionary).
+//
+// Template matching compares tokens billions of times per day; comparing
+// them as strings pays a length check plus a byte scan per position. The
+// TokenTable maps every distinct template token to a dense uint32_t id so
+// the online matcher compares single integers instead. Id 0 is reserved
+// for the wildcard "*" and a sentinel id is returned for log tokens the
+// table has never seen — such tokens can only ever match wildcard
+// positions, which the id comparison gets right for free.
+//
+// Lookup is the per-token hot operation of the whole online path, so the
+// index is a flat open-addressing table (power-of-two, linear probing)
+// storing (hash, id); a probe is one cache line touch and the stored hash
+// filters out almost all false candidates before the single string
+// verification.
+//
+// Unlike the hash encoder (core/encoder.h) the table is NOT stateless:
+// it lives with the model, grows with adopted templates, and is shared
+// (by shared_ptr) with the matcher built from that model. Lookups are
+// const and safe to run concurrently; interning mutates and must be
+// serialized with lookups by the caller — the same contract as
+// TemplateMatcher::Insert.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/hashing.h"
+
+namespace bytebrain {
+
+class TokenTable {
+ public:
+  /// Id of the wildcard token "*".
+  static constexpr uint32_t kWildcardId = 0;
+  /// Returned by Lookup for tokens never interned. Never equals a real id
+  /// (the table caps out long before 2^32 - 1 entries).
+  static constexpr uint32_t kUnknownId = 0xFFFFFFFFu;
+
+  TokenTable();
+
+  /// The table's internal hash. Word-at-a-time (8 bytes per multiply)
+  /// rather than the byte-wise FNV of util/hashing.h: token lookup runs
+  /// once per log token on the online hot path, and slot verification
+  /// compares the stored hash and the full text anyway, so this trades
+  /// avalanche perfection for scan speed.
+  static uint64_t HashOf(std::string_view token) {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^
+                 (token.size() * 0xff51afd7ed558ccdULL);
+    const char* p = token.data();
+    size_t n = token.size();
+    while (n >= 8) {
+      uint64_t k;
+      __builtin_memcpy(&k, p, 8);
+      h = (h ^ k) * 0x2545f4914f6cdd1dULL;
+      p += 8;
+      n -= 8;
+    }
+    // Tail: two overlapping 4-byte loads (or a 3-byte gather) instead of
+    // a byte loop — tokens are usually shorter than 8 chars, so this IS
+    // the common case. Overlap double-counts middle bytes; harmless, the
+    // length is already folded into the seed.
+    uint64_t tail = 0;
+    if (n >= 4) {
+      uint32_t a, b;
+      __builtin_memcpy(&a, p, 4);
+      __builtin_memcpy(&b, p + n - 4, 4);
+      tail = (static_cast<uint64_t>(a) << 32) | b;
+    } else if (n > 0) {
+      tail = (static_cast<uint64_t>(static_cast<uint8_t>(p[0])) << 16) |
+             (static_cast<uint64_t>(static_cast<uint8_t>(p[n >> 1])) << 8) |
+             static_cast<uint8_t>(p[n - 1]);
+    }
+    h = (h ^ tail) * 0x2545f4914f6cdd1dULL;
+    // One xor-fold instead of a full finalizer: the table masks the LOW
+    // bits for the slot index, and multiplication alone leaves them a
+    // function of only the low input bits; folding the high half in is
+    // enough because every probe verifies the full hash and text anyway.
+    return h ^ (h >> 32);
+  }
+
+  /// Returns the id for `token`, interning it if new.
+  uint32_t Intern(std::string_view token);
+
+  /// Id for `token`, or kUnknownId when it was never interned.
+  uint32_t Lookup(std::string_view token) const {
+    return LookupHashed(HashOf(token), token);
+  }
+
+  /// Like Lookup but with the caller-computed HashOf(token) value.
+  uint32_t LookupHashed(uint64_t hash, std::string_view token) const {
+    size_t slot = static_cast<size_t>(hash) & mask_;
+    while (true) {
+      const Slot& s = slots_[slot];
+      if (s.id == kUnknownId) return kUnknownId;
+      if (s.hash == hash && s.text == token) return s.id;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Text for a known id; "" for kUnknownId / out-of-range ids.
+  std::string_view text(uint32_t id) const {
+    return id < texts_.size() ? std::string_view(texts_[id])
+                              : std::string_view();
+  }
+
+  size_t size() const { return texts_.size(); }
+
+  /// Approximate heap footprint (token bytes + per-entry overhead).
+  uint64_t ApproxBytes() const { return bytes_; }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    // View into texts_ (stable: deque elements never move), kept inline
+    // so a probe verifies without chasing the deque's block table.
+    std::string_view text;
+    uint32_t id = kUnknownId;  // kUnknownId marks an empty slot
+  };
+
+  void Grow();
+
+  // Backing storage is a deque so element addresses stay stable as the
+  // table grows.
+  std::deque<std::string> texts_;
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace bytebrain

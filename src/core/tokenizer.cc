@@ -2,6 +2,9 @@
 
 #include <array>
 
+#include "core/token_table.h"
+#include "core/variable_replacer.h"
+
 namespace bytebrain {
 
 namespace {
@@ -76,6 +79,117 @@ std::vector<std::string_view> TokenizeDefault(std::string_view log) {
   std::vector<std::string_view> out;
   TokenizeDefaultInto(log, &out);
   return out;
+}
+
+namespace {
+
+constexpr std::array<bool, 256> BuildWordTable() {
+  std::array<bool, 256> t{};
+  for (int c = '0'; c <= '9'; ++c) t[c] = true;
+  for (int c = 'a'; c <= 'z'; ++c) t[c] = true;
+  for (int c = 'A'; c <= 'Z'; ++c) t[c] = true;
+  t[static_cast<uint8_t>('_')] = true;
+  return t;
+}
+constexpr std::array<bool, 256> kIsWord = BuildWordTable();
+
+// Characters that can begin a builtin variable (digits for timestamps /
+// IPs / hex literals, A-Z for syslog month names, a-f for uuid/md5 hex);
+// everything else makes MatchBuiltinVariable return 0 immediately.
+constexpr std::array<bool, 256> BuildVarStartTable() {
+  std::array<bool, 256> t{};
+  for (int c = '0'; c <= '9'; ++c) t[c] = true;
+  for (int c = 'A'; c <= 'Z'; ++c) t[c] = true;
+  for (int c = 'a'; c <= 'f'; ++c) t[c] = true;
+  return t;
+}
+constexpr std::array<bool, 256> kVarStart = BuildVarStartTable();
+
+}  // namespace
+
+void TokenizeReplacedIdsInto(std::string_view raw, const TokenTable& table,
+                             std::string* mixed_buf,
+                             std::vector<uint32_t>* ids) {
+  const size_t n = raw.size();
+  size_t i = 0;
+  size_t tok_begin = 0;
+  bool in_token = false;
+  // A "mixed" token contains at least one replaced variable; its text
+  // lives in *mixed_buf instead of being a pure slice of `raw`.
+  bool mixed = false;
+  // Builtin variables can only start where the replacer's scan would see
+  // a left word boundary: at offset 0 or right after a non-word char.
+  bool at_boundary = true;
+
+  const auto finish = [&](size_t end) {
+    if (!in_token) return;
+    const std::string_view text =
+        mixed ? std::string_view(*mixed_buf)
+              : raw.substr(tok_begin, end - tok_begin);
+    // A lone replaced variable is the most common token shape; its id is
+    // pinned to kWildcardId, no table probe needed.
+    if (text.size() == 1 && text[0] == '*') {
+      ids->push_back(TokenTable::kWildcardId);
+    } else {
+      ids->push_back(table.Lookup(text));
+    }
+    in_token = false;
+    mixed = false;
+    mixed_buf->clear();
+  };
+
+  while (i < n) {
+    const char c = raw[i];
+    // Variable replacement runs before tokenization, so a recognized
+    // variable wins over any delimiter reading of its characters.
+    if (at_boundary && kVarStart[static_cast<uint8_t>(c)]) {
+      const size_t len = MatchBuiltinVariable(raw, i);
+      if (len > 0) {
+        if (!in_token) {
+          in_token = true;
+          mixed = true;
+        } else if (!mixed) {
+          mixed = true;
+          mixed_buf->assign(raw.substr(tok_begin, i - tok_begin));
+        }
+        mixed_buf->push_back('*');
+        i += len;
+        // Every builtin variable ends with a word char.
+        at_boundary = false;
+        continue;
+      }
+    }
+    if (kIsWord[static_cast<uint8_t>(c)]) {
+      // Word run: no delimiters and (past the first char) no variable
+      // starts can occur inside it — scan it with a tight loop.
+      const size_t run_begin = i;
+      do {
+        ++i;
+      } while (i < n && kIsWord[static_cast<uint8_t>(raw[i])]);
+      if (!in_token) {
+        in_token = true;
+        tok_begin = run_begin;
+      }
+      if (mixed) mixed_buf->append(raw.substr(run_begin, i - run_begin));
+      at_boundary = false;
+      continue;
+    }
+    const size_t dl = DelimLenAt(raw, i);
+    if (dl > 0) {
+      finish(i);
+      i += dl;
+    } else {
+      // Non-word, non-delimiter token char ('-', '.', '*', '/', ...).
+      if (!in_token) {
+        in_token = true;
+        tok_begin = i;
+      }
+      if (mixed) mixed_buf->push_back(c);
+      ++i;
+    }
+    at_boundary = true;
+  }
+  finish(n);
 }
 
 Result<RegexTokenizer> RegexTokenizer::Create(

@@ -37,6 +37,21 @@ std::vector<std::string_view> TokenizeDefault(std::string_view log);
 void TokenizeDefaultInto(std::string_view log,
                          std::vector<std::string_view>* out);
 
+class TokenTable;
+
+/// Fused online-matching fast path: equivalent to
+/// VariableReplacer::ReplaceInto (builtin fast path) followed by
+/// TokenizeDefaultInto and one TokenTable lookup per token, but performed
+/// in a single pass over `raw` — no replaced-text copy is materialized
+/// and each token is hashed and looked up once, at its end. Appends
+/// one interned id (TokenTable::kUnknownId for never-seen tokens) per
+/// token to `*ids`. `mixed_buf` is caller-owned scratch for the rare
+/// tokens that mix literal characters with a replaced variable.
+/// Only valid when the replacer reports fused_fast_path().
+void TokenizeReplacedIdsInto(std::string_view raw, const TokenTable& table,
+                             std::string* mixed_buf,
+                             std::vector<uint32_t>* ids);
+
 /// Tokenizer driven by a user-supplied delimiter regex: every match of
 /// `delimiter` is a separator. Used for tenant-specific tokenization
 /// rules; slower than the scanner but fully customizable.

@@ -171,14 +171,17 @@ Result<TrainOutput> Trainer::Train(const std::vector<std::string>& raw_logs,
   // Sequential stitch: assign global ids, collect leaf assignments.
   std::vector<TemplateId> distinct_assignment(pre.logs.size(),
                                               kInvalidTemplateId);
-  for (const auto& tree : local_trees) {
+  for (auto& tree : local_trees) {
     std::vector<TemplateId> global_ids(tree.size(), kInvalidTemplateId);
     for (size_t i = 0; i < tree.size(); ++i) {
-      const LocalNode& n = tree[i];
+      LocalNode& n = tree[i];
       const TemplateId parent =
           n.parent < 0 ? kInvalidTemplateId : global_ids[n.parent];
+      // Tokens are moved, not copied: the local trees are dead after the
+      // stitch and AddNode interns from the strings it receives.
       global_ids[i] =
-          out.model.AddNode(parent, n.saturation, n.tokens, n.support);
+          out.model.AddNode(parent, n.saturation, std::move(n.tokens),
+                            n.support);
       for (uint32_t member : n.leaf_members) {
         distinct_assignment[member] = global_ids[i];
       }

@@ -62,17 +62,39 @@ size_t MatchIsoTimestamp(std::string_view t, size_t i) {
 // Syslog-style date: "Jun 10" / "Jun  3" (month name + day). The clock
 // component that usually follows is caught by MatchClockTime.
 size_t MatchSyslogDate(std::string_view t, size_t i) {
-  static constexpr std::string_view kMonths[] = {
-      "Jan", "Feb", "Mar", "Apr", "May", "Jun",
-      "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  // First-letter dispatch instead of a 12-way string compare: this runs
+  // for every capitalized token in every log.
   if (i + 3 > t.size()) return 0;
-  const std::string_view m3 = t.substr(i, 3);
+  const char a = t[i + 1];
+  const char b = t[i + 2];
   bool is_month = false;
-  for (std::string_view m : kMonths) {
-    if (m3 == m) {
-      is_month = true;
+  switch (t[i]) {
+    case 'J':
+      is_month = (a == 'a' && b == 'n') || (a == 'u' && (b == 'n' || b == 'l'));
       break;
-    }
+    case 'F':
+      is_month = a == 'e' && b == 'b';
+      break;
+    case 'M':
+      is_month = a == 'a' && (b == 'r' || b == 'y');
+      break;
+    case 'A':
+      is_month = (a == 'p' && b == 'r') || (a == 'u' && b == 'g');
+      break;
+    case 'S':
+      is_month = a == 'e' && b == 'p';
+      break;
+    case 'O':
+      is_month = a == 'c' && b == 't';
+      break;
+    case 'N':
+      is_month = a == 'o' && b == 'v';
+      break;
+    case 'D':
+      is_month = a == 'e' && b == 'c';
+      break;
+    default:
+      break;
   }
   if (!is_month) return 0;
   size_t p = i + 3;
@@ -126,28 +148,23 @@ size_t MatchIpv4(std::string_view t, size_t i) {
   return p - i;
 }
 
-// "123e4567-e89b-12d3-a456-426614174000" (8-4-4-4-12 hex).
-size_t MatchUuid(std::string_view t, size_t i) {
-  static constexpr size_t kGroups[] = {8, 4, 4, 4, 12};
-  size_t p = i;
-  for (size_t g = 0; g < 5; ++g) {
-    size_t run = 0;
-    while (p + run < t.size() && IsHex(t[p + run])) ++run;
-    if (run != kGroups[g]) return 0;
-    p += run;
-    if (g < 4) {
-      if (p >= t.size() || t[p] != '-') return 0;
-      ++p;
-    }
+// UUID ("123e4567-e89b-12d3-a456-426614174000", 8-4-4-4-12 hex) or MD5
+// digest (exactly 32 hex chars). Combined so the leading hex run is
+// scanned once: a 32-run is an MD5, an 8-run followed by '-' may open a
+// UUID, anything else matches neither.
+size_t MatchHexDigest(std::string_view t, size_t i) {
+  const size_t run = HexRun(t, i);
+  if (run == 32) return 32;
+  if (run != 8) return 0;
+  static constexpr size_t kTailGroups[] = {4, 4, 4, 12};
+  size_t p = i + 8;
+  for (size_t g = 0; g < 4; ++g) {
+    if (p >= t.size() || t[p] != '-') return 0;
+    ++p;
+    if (HexRun(t, p) != kTailGroups[g]) return 0;
+    p += kTailGroups[g];
   }
   return p - i;
-}
-
-// Exactly 32 hex chars (an MD5 digest), not embedded in a longer run.
-size_t MatchMd5(std::string_view t, size_t i) {
-  const size_t run = HexRun(t, i);
-  if (run != 32) return 0;
-  return 32;
 }
 
 // "0xdeadbeef".
@@ -169,21 +186,27 @@ size_t MatchBuiltinVariable(std::string_view text, size_t pos) {
   if (pos > 0 && IsWordChar(text[pos - 1])) return 0;
   size_t len = 0;
   if (IsDigit(c)) {
-    if ((len = MatchIsoTimestamp(text, pos)) == 0) {
+    // Dispatch on the leading digit-run length instead of trying every
+    // recognizer: ISO timestamps need exactly 4 leading digits, clock
+    // times exactly 2, IPv4 octets 1-3, hex literals a lone '0'. Runs of
+    // other lengths can only be hex digests, handled by the fallthrough.
+    const size_t run = DigitRun(text, pos);
+    if (run == 4) {
+      len = MatchIsoTimestamp(text, pos);
+    } else if (run == 2) {
       if ((len = MatchClockTime(text, pos)) == 0) {
-        if ((len = MatchIpv4(text, pos)) == 0) {
-          len = MatchHexLiteral(text, pos);
-        }
+        len = MatchIpv4(text, pos);
+      }
+    } else if (run <= 3) {  // run == 1 or run == 3
+      if ((len = MatchIpv4(text, pos)) == 0 && run == 1) {
+        len = MatchHexLiteral(text, pos);
       }
     }
-  }
-  if (len == 0 && (c >= 'A' && c <= 'Z')) {
+  } else if (c >= 'A' && c <= 'Z') {
     len = MatchSyslogDate(text, pos);
   }
   if (len == 0 && IsHex(c)) {
-    if ((len = MatchUuid(text, pos)) == 0) {
-      len = MatchMd5(text, pos);
-    }
+    len = MatchHexDigest(text, pos);
   }
   if (len == 0) return 0;
   // Word-boundary on the right.
@@ -252,10 +275,9 @@ void VariableReplacer::ReplaceInto(std::string_view text,
     current = *out;
   }
 
-  if (!builtins_enabled_) {
-    if (user_rules_.empty()) out->assign(text);
-    return;
-  }
+  // With builtins disabled, user rules (non-empty here — the early
+  // return above handled the no-rules case) already wrote the result.
+  if (!builtins_enabled_) return;
 
   if (!fast_builtins_) {
     std::string tmp(current);

@@ -53,6 +53,15 @@ class VariableReplacer {
   bool has_builtins() const { return builtins_enabled_; }
   size_t num_user_rules() const { return user_rules_.size(); }
 
+  /// True when Replace reduces to the single-scan builtin fast path
+  /// (builtins on, no user rules, fast scanners enabled). Only then may
+  /// callers use the fused replace+tokenize scan
+  /// (TokenizeReplacedIdsInto), which is equivalent to ReplaceInto
+  /// followed by TokenizeDefaultInto but touches the text once.
+  bool fused_fast_path() const {
+    return builtins_enabled_ && fast_builtins_ && user_rules_.empty();
+  }
+
  private:
   VariableReplacer() = default;
 

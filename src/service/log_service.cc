@@ -22,20 +22,35 @@ ManagedTopic::ManagedTopic(std::string name, TopicConfig config)
 
 Result<uint64_t> ManagedTopic::Ingest(std::string text,
                                       uint64_t timestamp_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return IngestOneLocked(std::move(text), timestamp_us, kInvalidTemplateId);
+}
+
+Result<uint64_t> ManagedTopic::IngestOneLocked(std::string text,
+                                               uint64_t timestamp_us,
+                                               TemplateId prematched) {
   LogRecord record;
   record.timestamp_us = timestamp_us;
   record.text = std::move(text);
 
   // Online matching happens before the record lands so the template id
-  // is indexed together with the text (§3 "Online Matching").
+  // is indexed together with the text (§3 "Online Matching"). A single
+  // MatchOrAdopt reports adoption directly — the old probe-then-adopt
+  // dance matched every record up to three times.
   if (trained_) {
-    const TemplateId before = parser_.Match(record.text);
-    record.template_id = parser_.MatchOrAdopt(record.text);
+    bool adopted = false;
+    if (prematched != kInvalidTemplateId) {
+      record.template_id = prematched;
+    } else {
+      record.template_id = parser_.MatchOrAdopt(record.text, &adopted);
+    }
     ++stats_.matched_online;
-    if (before == kInvalidTemplateId &&
-        record.template_id != kInvalidTemplateId) {
+    if (adopted) {
       ++stats_.adopted_templates;
+      // An adopted template (saturation 1.0) can shadow lower-saturation
+      // matches for later logs; ids prematched before it existed are no
+      // longer authoritative.
+      ++model_generation_;
       // Publish the adopted template's metadata immediately so queries
       // can display it before the next training cycle.
       const TreeNode* node = parser_.model().node(record.template_id);
@@ -56,6 +71,51 @@ Result<uint64_t> ManagedTopic::Ingest(std::string text,
   return seq;
 }
 
+Result<std::vector<uint64_t>> ManagedTopic::IngestBatch(
+    std::vector<std::string> texts, const std::vector<uint64_t>& timestamps_us) {
+  if (!timestamps_us.empty() && timestamps_us.size() != texts.size()) {
+    return Status::InvalidArgument(
+        "timestamps_us must be empty or match texts in size");
+  }
+  std::vector<uint64_t> seqs;
+  seqs.reserve(texts.size());
+  if (texts.empty()) return seqs;
+
+  // Phase 1 (shared lock): shard-parallel matching against the current
+  // model. Queries and other batches' match phases proceed concurrently;
+  // only the adoption/append section below excludes them.
+  std::vector<TemplateId> prematched;
+  uint64_t generation = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    generation = model_generation_;
+    if (trained_) {
+      prematched = parser_.MatchAll(texts, config_.num_threads);
+    }
+  }
+
+  // Phase 2 (exclusive lock): adopt misses, append, count, train.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Prematched ids are only valid while the model that produced them is
+  // current: any training cycle or adoption — by this batch, a
+  // concurrent Ingest, or a concurrent batch — bumps model_generation_
+  // and can shadow lower-saturation matches. Affected records fall back
+  // to matching under the lock, keeping results identical to a
+  // sequential Ingest loop.
+  for (size_t i = 0; i < texts.size(); ++i) {
+    const bool prematch_valid =
+        !prematched.empty() && generation == model_generation_;
+    const TemplateId hint =
+        prematch_valid ? prematched[i] : kInvalidTemplateId;
+    auto seq = IngestOneLocked(std::move(texts[i]),
+                               timestamps_us.empty() ? 0 : timestamps_us[i],
+                               hint);
+    BB_RETURN_IF_ERROR(seq.status());
+    seqs.push_back(seq.value());
+  }
+  return seqs;
+}
+
 Status ManagedTopic::MaybeTrainLocked() {
   const bool first_training_due =
       !trained_ && records_since_training_ >= config_.initial_train_records;
@@ -67,7 +127,7 @@ Status ManagedTopic::MaybeTrainLocked() {
 }
 
 Status ManagedTopic::TrainNow() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   return TrainLocked();
 }
 
@@ -92,6 +152,7 @@ Status ManagedTopic::TrainLocked() {
   }
   stats_.last_training_seconds = timer.ElapsedSeconds();
   ++stats_.trainings;
+  ++model_generation_;
   trained_ = true;
   bytes_since_training_ = 0;
   records_since_training_ = 0;
@@ -111,7 +172,7 @@ Status ManagedTopic::TrainLocked() {
 Result<std::vector<TemplateGroup>> ManagedTopic::Query(
     double saturation_threshold, uint64_t begin_seq,
     uint64_t end_seq) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::unordered_map<TemplateId, TemplateGroup> groups;
   const Status scan_status = topic_.Scan(
       begin_seq, std::min(end_seq, topic_.size()),
@@ -190,12 +251,12 @@ Result<std::vector<TemplateAnomaly>> ManagedTopic::DetectAnomalies(
 }
 
 TopicStats ManagedTopic::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return stats_;
 }
 
 bool ManagedTopic::trained() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return trained_;
 }
 

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,20 @@ class ManagedTopic {
   /// Returns the record's sequence number.
   Result<uint64_t> Ingest(std::string text, uint64_t timestamp_us = 0);
 
+  /// Batch ingestion, the high-throughput path: matching runs
+  /// shard-parallel under a SHARED lock (concurrent with queries and
+  /// other batches' match phases), then a single EXCLUSIVE section
+  /// adopts misses, appends, updates stats, and checks the training
+  /// triggers — one lock handoff per batch instead of one per record.
+  /// If a training cycle or an adoption lands mid-batch, the remaining
+  /// prematched ids are discarded and those records are re-matched under
+  /// the lock, so results are identical to calling Ingest in a loop.
+  /// `timestamps_us` is optional; when non-empty it must have one entry
+  /// per text. Returns the records' sequence numbers in order.
+  Result<std::vector<uint64_t>> IngestBatch(
+      std::vector<std::string> texts,
+      const std::vector<uint64_t>& timestamps_us = {});
+
   /// Forces a training cycle over the most recent records.
   Status TrainNow();
 
@@ -109,6 +124,12 @@ class ManagedTopic {
  private:
   Status MaybeTrainLocked();
   Status TrainLocked();
+  /// Matches (or accepts a prematched id), appends, updates stats, and
+  /// checks training triggers for one record. Requires the exclusive
+  /// lock. `prematched` of kInvalidTemplateId means "match under the
+  /// lock".
+  Result<uint64_t> IngestOneLocked(std::string text, uint64_t timestamp_us,
+                                   TemplateId prematched);
 
   std::string name_;
   TopicConfig config_;
@@ -119,7 +140,13 @@ class ManagedTopic {
   uint64_t bytes_since_training_ = 0;
   uint64_t records_since_training_ = 0;
   bool trained_ = false;
-  mutable std::mutex mu_;
+  /// Bumped by every training cycle and every template adoption; lets
+  /// IngestBatch detect that ids prematched under the shared lock went
+  /// stale before (or during) the exclusive section.
+  uint64_t model_generation_ = 0;
+  /// Readers (Query, stats, the batch match phase) take shared; anything
+  /// touching parser/model/topic state takes exclusive.
+  mutable std::shared_mutex mu_;
 };
 
 /// The multi-tenant service: a catalog of managed topics.

@@ -58,26 +58,65 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+// True while the current thread is executing a ParallelForShards task on
+// the shared pool; nested parallel sections then run inline instead of
+// deadlocking on a full queue.
+thread_local bool tls_in_shared_pool_task = false;
+
+// Process-wide lazily-built pool for shard work. Spawning std::threads
+// per call costs tens of microseconds — per ingest batch, that is the
+// difference between "parallel matching wins" and "parallel matching
+// loses". Intentionally leaked: workers park on the condition variable
+// until process exit, avoiding static-destruction-order hazards.
+ThreadPool& SharedShardPool() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max<size_t>(2, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+}  // namespace
+
 void ParallelForShards(size_t count, size_t num_threads,
                        const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;
   num_threads = std::max<size_t>(1, std::min(num_threads, count));
-  if (num_threads == 1) {
+  if (num_threads == 1 || tls_in_shared_pool_task) {
     fn(0, count);
     return;
   }
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
   const size_t base = count / num_threads;
   const size_t extra = count % num_threads;
-  size_t begin = 0;
-  for (size_t t = 0; t < num_threads; ++t) {
+
+  // Shards 1..n-1 go to the pool; the caller runs shard 0 itself and
+  // then waits on a per-call completion count (the pool's global Wait
+  // would also wait on unrelated submitters).
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = num_threads - 1;
+  ThreadPool& pool = SharedShardPool();
+  size_t begin = base + (extra > 0 ? 1 : 0);  // shard 0's end
+  const size_t first_end = begin;
+  for (size_t t = 1; t < num_threads; ++t) {
     const size_t len = base + (t < extra ? 1 : 0);
     const size_t end = begin + len;
-    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+    pool.Submit([&fn, &done_mu, &done_cv, &remaining, begin, end] {
+      tls_in_shared_pool_task = true;
+      fn(begin, end);
+      tls_in_shared_pool_task = false;
+      // Notify while holding the lock: the caller's stack frame (and
+      // with it done_cv itself) may be destroyed the instant the last
+      // decrement becomes visible to its wait predicate.
+      std::lock_guard<std::mutex> lock(done_mu);
+      --remaining;
+      done_cv.notify_one();
+    });
     begin = end;
   }
-  for (auto& w : workers) w.join();
+  fn(0, first_end);
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
 }
 
 void ParallelFor(size_t count, size_t num_threads,

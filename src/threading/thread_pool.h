@@ -55,6 +55,9 @@ void ParallelFor(size_t count, size_t num_threads,
 
 /// Like ParallelFor but hands each worker a [begin, end) shard; use when
 /// per-item dispatch overhead matters (e.g. per-log preprocessing).
+/// Shards run on a shared process-wide pool (no thread spawn per call);
+/// the calling thread executes the first shard itself. Nested calls from
+/// inside a shard run inline.
 void ParallelForShards(size_t count, size_t num_threads,
                        const std::function<void(size_t, size_t)>& fn);
 

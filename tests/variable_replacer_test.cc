@@ -115,5 +115,27 @@ TEST(VariableReplacerTest, AdjacentVariables) {
   EXPECT_EQ(r.Replace("10.0.0.1 10.0.0.2"), "* *");
 }
 
+// Regression for the user-rules-with-builtins-disabled path: the result
+// must be exactly the user rules' output (formerly a dead branch could
+// suggest the input was passed through untouched).
+TEST(VariableReplacerTest, UserRulesWithBuiltinsDisabled) {
+  VariableReplacer r = VariableReplacer::None();
+  ASSERT_TRUE(r.AddRule("req_id", "req-[0-9]+").ok());
+  EXPECT_FALSE(r.has_builtins());
+  ASSERT_EQ(r.num_user_rules(), 1u);
+
+  std::string out = "stale buffer contents";
+  r.ReplaceInto("request req-1234 accepted", &out);
+  EXPECT_EQ(out, "request * accepted");
+
+  // Builtin kinds must NOT be replaced on this path.
+  r.ReplaceInto("peer 10.0.0.1 sent req-77", &out);
+  EXPECT_EQ(out, "peer 10.0.0.1 sent *");
+
+  // No rule matches: the text passes through unchanged.
+  r.ReplaceInto("nothing to see here", &out);
+  EXPECT_EQ(out, "nothing to see here");
+}
+
 }  // namespace
 }  // namespace bytebrain
