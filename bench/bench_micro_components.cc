@@ -220,6 +220,60 @@ void BM_TopicIngestBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_TopicIngestBatch)->Arg(256)->Arg(1024);
 
+// Ingest throughput while retrains land mid-stream: Arg(1) runs them on
+// the background thread (atomic swap), Arg(0) inline under the ingest
+// lock — the delta is the latency the async design removes from the
+// ingest path. Counters report completed trainings, how many ran async,
+// and how many trigger firings were coalesced into follow-up runs.
+void BM_TopicIngestAsyncRetrain(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  const bool async = state.range(0) != 0;
+  uint64_t trainings = 0;
+  uint64_t async_trainings = 0;
+  uint64_t coalesced = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TopicConfig config;
+    config.initial_train_records = 512;
+    config.train_interval_records = 512;  // retrain every 512 records
+    config.train_volume_bytes = 1ull << 40;
+    config.async_training = async;
+    auto topic = std::make_unique<ManagedTopic>("bench", config);
+    for (size_t i = 0; i < 512; ++i) {
+      if (!topic->Ingest(std::string(logs[i])).ok()) {
+        state.SkipWithError("ingest failed");
+        return;
+      }
+    }
+    state.ResumeTiming();
+    for (size_t i = 512; i < logs.size(); ++i) {
+      benchmark::DoNotOptimize(topic->Ingest(std::string(logs[i])));
+    }
+    // Draining inside the timed region keeps the async arm honest: it
+    // cannot report throughput while hiding an unfinished training.
+    topic->WaitForPendingTraining();
+    state.PauseTiming();
+    const TopicStats stats = topic->stats();
+    trainings += stats.trainings;
+    async_trainings += stats.async_trainings;
+    coalesced += stats.coalesced_triggers;
+    // Destruction (training-pool join — async arm only) stays untimed so
+    // the sync-vs-async delta measures the ingest path, not thread setup.
+    topic.reset();
+    state.ResumeTiming();
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["trainings"] =
+      benchmark::Counter(static_cast<double>(trainings) / iters);
+  state.counters["async_trainings"] =
+      benchmark::Counter(static_cast<double>(async_trainings) / iters);
+  state.counters["coalesced_triggers"] =
+      benchmark::Counter(static_cast<double>(coalesced) / iters);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(logs.size() - 512));
+}
+BENCHMARK(BM_TopicIngestAsyncRetrain)->Arg(0)->Arg(1);
+
 void BM_RegexSearchLinear(benchmark::State& state) {
   // Pathological pattern that kills backtracking engines; the NFA must
   // stay linear in the text length.

@@ -33,6 +33,16 @@ namespace bytebrain {
 
 /// Matcher snapshot built from a model. Rebuild after retrain / merge;
 /// cheap relative to training. Thread-safe for concurrent Match.
+///
+/// Threading contract (load-bearing for the service's async retraining —
+/// see ARCHITECTURE.md): the matcher owns no lock of its own; the owner
+/// (ByteBrainParser under ManagedTopic's shared_mutex) serializes the
+/// mutators. All Match* methods are const, take no lock, never block and
+/// never train; any number may run concurrently with each other — and
+/// with a BACKGROUND TemplateMatcher being constructed from a cloned
+/// model, because construction touches only the model it is given.
+/// Insert (and the shared TokenTable's Intern it relies on) mutates and
+/// must be exclusive with all lookups.
 class TemplateMatcher {
  public:
   /// Reusable per-thread scratch for the match hot path: with a
@@ -48,28 +58,39 @@ class TemplateMatcher {
 
   /// `replacer` preprocesses incoming logs exactly as training did; it
   /// must outlive the matcher. The matcher shares the model's TokenTable.
+  /// Locking: reads only `model` and the replacer's rule set — do not
+  /// mutate either concurrently; safe to run off-lock on a Clone()d model
+  /// while a different matcher serves lookups.
   TemplateMatcher(const TemplateModel& model,
                   const VariableReplacer* replacer);
 
   /// Most precise (highest-saturation) matching template id, or
   /// kInvalidTemplateId when nothing matches.
+  /// Locking: none taken; requires no concurrent Insert/Intern (the
+  /// service guarantees this by holding at least the shared topic lock).
+  /// Never blocks, never trains.
   TemplateId Match(std::string_view raw_log) const;
 
   /// Match with caller-owned scratch buffers (allocation-free once the
-  /// scratch is warm).
+  /// scratch is warm). Locking: as Match; the scratch must be owned by
+  /// the calling thread.
   TemplateId Match(std::string_view raw_log, MatchScratch* scratch) const;
 
   /// Match a batch across `num_threads` processing queues (§3 "the system
   /// distributes matching tasks across multiple processing queues").
+  /// Locking: as Match; spawns shard tasks on the shared process pool but
+  /// itself blocks only until its own shards finish. Never trains.
   std::vector<TemplateId> MatchAll(const std::vector<std::string>& raw_logs,
                                    int num_threads) const;
 
   /// Adds one template (an adopted temporary, §3) without rebuilding. The
   /// node must come from the same model (its token_ids must be interned
-  /// in the shared table). NOT thread-safe against concurrent Match
-  /// calls; callers serialize.
+  /// in the shared table). Locking: MUTATES — the caller must hold its
+  /// exclusive lock (no concurrent Match/MatchAll/Insert); the service
+  /// calls this only from the exclusive adopt section.
   void Insert(const TreeNode& node);
 
+  /// Locking: safe under the same conditions as Match.
   size_t num_templates() const { return entries_.size(); }
 
  private:

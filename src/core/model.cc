@@ -110,6 +110,25 @@ std::string TemplateModel::MergedWildcardText(TemplateId id) const {
   return out;
 }
 
+TemplateModel TemplateModel::Clone() const {
+  TemplateModel copy;
+  copy.roots_ = roots_;
+  copy.nodes_ = nodes_;
+  // Re-intern into the copy's own table. Interning in node order assigns
+  // ids in first-encounter order, which is exactly how the copied nodes
+  // reference them; the clone is self-consistent even though its ids need
+  // not equal the source table's (the source may hold tokens of dropped
+  // temporaries that no surviving node references).
+  for (TreeNode& n : copy.nodes_) {
+    n.token_ids.clear();
+    n.token_ids.reserve(n.tokens.size());
+    for (const std::string& t : n.tokens) {
+      n.token_ids.push_back(copy.token_table_->Intern(t));
+    }
+  }
+  return copy;
+}
+
 TemplateId TemplateModel::AdoptTemporary(std::vector<std::string> tokens) {
   // Unmatched logs become fully-precise standalone templates until the
   // next training cycle reconsiders them (§3).

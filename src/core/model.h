@@ -81,6 +81,17 @@ class TemplateModel {
   /// query-result optimization for dynamic-length lists).
   std::string MergedWildcardText(TemplateId id) const;
 
+  /// Deep copy with a FRESH TokenTable: every node's token_ids are
+  /// re-interned into the copy's own table, so mutating the clone (e.g.
+  /// a background retrain merging into it) never touches the table the
+  /// live matcher is concurrently reading. This — not the implicit copy
+  /// constructor, which shares the table by shared_ptr — is the snapshot
+  /// primitive for async retraining: snapshot under the service's lock,
+  /// train/merge into the clone off-lock, then publish the finished
+  /// model atomically. A published model is treated as immutable except
+  /// for AdoptTemporary/MergeFrom under the owner's exclusive lock.
+  TemplateModel Clone() const;
+
   /// Adopts an unmatched log as a temporary root template (§3).
   TemplateId AdoptTemporary(std::vector<std::string> tokens);
 

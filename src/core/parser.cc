@@ -40,6 +40,30 @@ Status ByteBrainParser::Retrain(const std::vector<std::string>& logs) {
   return Status::OK();
 }
 
+Result<PreparedRetrain> ByteBrainParser::PrepareRetrain(
+    TemplateModel base, const std::vector<std::string>& logs) const {
+  Trainer trainer(options_.trainer);
+  auto out = trainer.Train(logs, replacer_);
+  if (!out.ok()) return out.status();
+  PreparedRetrain prepared;
+  if (base.empty()) {
+    // First training: the fresh model IS the successor.
+    prepared.model = std::move(out.value().model);
+  } else {
+    base.DropTemporaries();
+    base.MergeFrom(out.value().model, options_.merge_similarity);
+    prepared.model = std::move(base);
+  }
+  prepared.matcher =
+      std::make_unique<TemplateMatcher>(prepared.model, &replacer_);
+  return prepared;
+}
+
+void ByteBrainParser::CommitRetrain(PreparedRetrain prepared) {
+  model_ = std::move(prepared.model);
+  matcher_ = std::move(prepared.matcher);
+}
+
 void ByteBrainParser::RebuildMatcher() {
   matcher_ = std::make_unique<TemplateMatcher>(model_, &replacer_);
 }

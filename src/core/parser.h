@@ -40,8 +40,20 @@ struct ByteBrainOptions {
   bool unoptimized = false;
 };
 
-/// Facade over trainer + model + matcher. Train/Retrain are exclusive
-/// with each other; Match* are safe to call concurrently between them.
+/// The fully-built successor state of a retraining cycle: an immutable
+/// model plus the matcher constructed over it, produced off-lock by
+/// PrepareRetrain and published in O(1) by CommitRetrain. Between those
+/// two calls nothing reads it, so no synchronization is needed on it.
+struct PreparedRetrain {
+  TemplateModel model;
+  std::unique_ptr<TemplateMatcher> matcher;
+};
+
+/// Facade over trainer + model + matcher. Train/Retrain/CommitRetrain
+/// are exclusive with each other and with Match*/MatchOrAdopt; Match*
+/// are safe to call concurrently between them. PrepareRetrain is const
+/// and may run concurrently with everything except AddVariableRule —
+/// that is the hook that lets the service train in the background.
 class ByteBrainParser {
  public:
   explicit ByteBrainParser(ByteBrainOptions options);
@@ -55,6 +67,28 @@ class ByteBrainParser {
   /// Trains on a new batch and merges into the existing model; temporary
   /// templates adopted online are dropped and re-learned (§3).
   Status Retrain(const std::vector<std::string>& logs);
+
+  /// Snapshot half of the async retraining protocol: a deep copy of the
+  /// current model with its own TokenTable (TemplateModel::Clone), safe
+  /// to hand to a background thread. Call with the same exclusion as
+  /// Match (no concurrent Train/Retrain/adoption); cost is O(model),
+  /// which is orders of magnitude below a training run.
+  TemplateModel SnapshotModel() const { return model_.Clone(); }
+
+  /// Rebuild half: trains a fresh model on `logs` and merges it into
+  /// `base` (a SnapshotModel clone; temporaries dropped first, exactly
+  /// like Retrain), then builds the matcher over the result. Touches no
+  /// live parser state — const, and safe to run concurrently with
+  /// Match*/MatchOrAdopt/Train on other threads. The embedded replacer
+  /// pointer means the parser must outlive the prepared state.
+  Result<PreparedRetrain> PrepareRetrain(
+      TemplateModel base, const std::vector<std::string>& logs) const;
+
+  /// Publish half: swaps the prepared model/matcher in. O(1) pointer
+  /// swaps — this is the only step the service's exclusive lock must
+  /// cover, which is what keeps ingest latency independent of training
+  /// cost. Requires the same exclusion as Train/Retrain.
+  void CommitRetrain(PreparedRetrain prepared);
 
   /// Most precise matching template, or kInvalidTemplateId.
   TemplateId Match(std::string_view log) const;

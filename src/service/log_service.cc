@@ -1,6 +1,7 @@
 #include "service/log_service.h"
 
 #include <algorithm>
+#include <exception>
 #include <unordered_map>
 
 #include "util/timer.h"
@@ -18,6 +19,19 @@ ManagedTopic::ManagedTopic(std::string name, TopicConfig config)
     // explicitly.
     (void)parser_.AddVariableRule(rule_name, pattern);
   }
+}
+
+ManagedTopic::~ManagedTopic() {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // An in-flight training still commits (its assignments are not
+    // lost), but its commit schedules no follow-up.
+    shutting_down_ = true;
+  }
+  // ThreadPool destruction drains queued tasks and joins the worker; it
+  // runs here — not in member destruction — so every other member is
+  // still alive while the last training commits.
+  train_pool_.reset();
 }
 
 Result<uint64_t> ManagedTopic::Ingest(std::string text,
@@ -123,48 +137,225 @@ Status ManagedTopic::MaybeTrainLocked() {
       trained_ && (bytes_since_training_ >= config_.train_volume_bytes ||
                    records_since_training_ >= config_.train_interval_records);
   if (!first_training_due && !retrain_due) return Status::OK();
-  return TrainLocked();
+  if (training_in_flight_) {
+    // Coalesce: the running cycle's commit re-checks the (still
+    // accumulating) counters and schedules one follow-up for the whole
+    // backlog instead of queueing a run per trigger.
+    ++stats_.coalesced_triggers;
+    return Status::OK();
+  }
+  const bool synchronous =
+      !config_.async_training ||
+      (first_training_due && config_.sync_initial_training);
+  if (synchronous) return TrainSyncLocked();
+  return ScheduleAsyncTrainingLocked();
 }
 
 Status ManagedTopic::TrainNow() {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  return TrainLocked();
+  // Manual training is synchronous by contract: let an in-flight
+  // background cycle commit first (its counters/window would otherwise
+  // race ours), then train inline.
+  train_done_cv_.wait(lock, [this] { return !training_in_flight_; });
+  return TrainSyncLocked();
 }
 
-Status ManagedTopic::TrainLocked() {
+void ManagedTopic::WaitForPendingTraining() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  train_done_cv_.wait(lock, [this] { return !training_in_flight_; });
+}
+
+Status ManagedTopic::SnapshotTrainingLocked(TrainingRun* run) {
   const uint64_t total = topic_.size();
+  run->snapshot_size = 0;
   if (total == 0) return Status::OK();
   const uint64_t window =
       std::min<uint64_t>(total, config_.max_train_records);
-  const uint64_t begin = total - window;
-
-  std::vector<std::string> batch;
-  batch.reserve(window);
+  run->window_begin = total - window;
+  run->batch.reserve(window);
   BB_RETURN_IF_ERROR(topic_.Scan(
-      begin, total,
-      [&batch](uint64_t, const LogRecord& rec) { batch.push_back(rec.text); }));
-
-  Timer timer;
-  if (trained_) {
-    BB_RETURN_IF_ERROR(parser_.Retrain(batch));
-  } else {
-    BB_RETURN_IF_ERROR(parser_.Train(batch));
-  }
-  stats_.last_training_seconds = timer.ElapsedSeconds();
-  ++stats_.trainings;
-  ++model_generation_;
-  trained_ = true;
+      run->window_begin, total, [run](uint64_t, const LogRecord& rec) {
+        run->batch.push_back(rec.text);
+      }));
+  run->base = parser_.SnapshotModel();
+  run->snapshot_size = total;
+  // The trigger counters measure "volume since the last training
+  // SNAPSHOT" — records arriving while this snapshot trains count toward
+  // the NEXT cycle. Triggered and manual (TrainNow) trainings both reset
+  // here and nowhere else.
   bytes_since_training_ = 0;
   records_since_training_ = 0;
+  training_in_flight_ = true;
+  return Status::OK();
+}
+
+Result<PreparedRetrain> ManagedTopic::PrepareTrainingGuarded(
+    TrainingRun* run, std::vector<TemplateId>* assignments,
+    bool invoke_hook) const {
+  try {
+    if (invoke_hook && config_.on_async_training_start) {
+      config_.on_async_training_start();
+    }
+    auto built = parser_.PrepareRetrain(std::move(run->base), run->batch);
+    if (built.ok()) {
+      *assignments =
+          built.value().matcher->MatchAll(run->batch, config_.num_threads);
+    }
+    return built;
+  } catch (const std::exception& e) {
+    return Status::Aborted(std::string("training threw: ") + e.what());
+  } catch (...) {
+    return Status::Aborted("training threw");
+  }
+}
+
+Status ManagedTopic::TrainSyncLocked() {
+  TrainingRun run;
+  BB_RETURN_IF_ERROR(SnapshotTrainingLocked(&run));
+  if (run.snapshot_size == 0) return Status::OK();
+  Timer timer;
+  std::vector<TemplateId> assignments;
+  auto prepared =
+      PrepareTrainingGuarded(&run, &assignments, /*invoke_hook=*/false);
+  if (!prepared.ok()) {
+    training_in_flight_ = false;
+    ++stats_.failed_trainings;
+    train_done_cv_.notify_all();
+    return prepared.status();
+  }
+  return CommitTrainingLocked(run, std::move(prepared).value(), assignments,
+                              timer.ElapsedSeconds());
+}
+
+Status ManagedTopic::ScheduleAsyncTrainingLocked() {
+  TrainingRun run;
+  BB_RETURN_IF_ERROR(SnapshotTrainingLocked(&run));
+  if (run.snapshot_size == 0) return Status::OK();
+  try {
+    if (train_pool_ == nullptr) train_pool_ = std::make_unique<ThreadPool>(1);
+    // shared_ptr because std::function requires a copyable callable; the
+    // run itself is never actually copied. Schedule (not Submit) as a
+    // last-resort backstop: RunAsyncTraining converts every foreseeable
+    // throw into failed-training stats itself, and anything that still
+    // escapes is captured by the task's future instead of terminating
+    // the worker.
+    auto shared_run = std::make_shared<TrainingRun>(std::move(run));
+    (void)train_pool_->Schedule(
+        [this, shared_run] { RunAsyncTraining(std::move(*shared_run)); });
+  } catch (const std::exception& e) {
+    // Thread creation (pid/rlimit exhaustion) or allocation failed; the
+    // snapshot set training_in_flight_, which MUST not leak out set or
+    // no training would ever run again and waiters would sleep forever.
+    training_in_flight_ = false;
+    ++stats_.failed_trainings;
+    train_done_cv_.notify_all();
+    return Status::ResourceExhausted(
+        std::string("cannot schedule background training: ") + e.what());
+  }
+  return Status::OK();
+}
+
+void ManagedTopic::RunAsyncTraining(TrainingRun run) {
+  // The timer covers the whole background run — including the
+  // instrumentation hook, which tests use to stretch the window — so
+  // last_training_seconds is the duration ingest would have stalled for
+  // under the synchronous design.
+  Timer timer;
+
+  // The expensive part runs with NO topic lock held: ingest keeps
+  // matching against the current model, queries keep scanning. The
+  // snapshot owns every input (window copies, cloned model); the only
+  // shared state touched is the replacer, which is const after setup.
+  // A throw from the user hook (or an allocation failure in training)
+  // must not escape a detached thread: it becomes a failed training.
+  std::vector<TemplateId> assignments;
+  auto prepared =
+      PrepareTrainingGuarded(&run, &assignments, /*invoke_hook=*/true);
+  const double train_seconds = timer.ElapsedSeconds();
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  try {
+    if (!prepared.ok()) {
+      // Model untouched; clear the in-flight state the commit would have.
+      training_in_flight_ = false;
+      ++stats_.failed_trainings;
+    } else {
+      Timer swap_timer;
+      // Once CommitTrainingLocked runs, the swap has happened: the cycle
+      // counts as an (async) training regardless of the cannot-really-fail
+      // re-assignment statuses inside.
+      (void)CommitTrainingLocked(run, std::move(prepared).value(), assignments,
+                                 train_seconds);
+      stats_.last_swap_seconds = swap_timer.ElapsedSeconds();
+      ++stats_.async_trainings;
+    }
+    // Triggers that fired while we trained were coalesced; if their volume
+    // is still due, run ONE follow-up cycle for the whole backlog. The
+    // destructor suppresses this so shutdown drains.
+    if (!shutting_down_) (void)MaybeTrainLocked();
+  } catch (...) {
+    // Allocation failure mid-commit or mid-reschedule. Leave the topic
+    // schedulable and visibly account the breakage rather than letting
+    // the exception vanish into the discarded task future.
+    training_in_flight_ = false;
+    ++stats_.failed_trainings;
+  }
+  // Waiters re-check under the lock: if a follow-up was scheduled,
+  // training_in_flight_ is set again and they keep sleeping.
+  train_done_cv_.notify_all();
+}
+
+Status ManagedTopic::CommitTrainingLocked(
+    const TrainingRun& run, PreparedRetrain prepared,
+    const std::vector<TemplateId>& assignments, double train_seconds) {
+  // Clear the in-flight state first so every return path (including the
+  // cannot-really-fail AssignTemplate errors below) leaves the topic
+  // able to schedule its next cycle.
+  training_in_flight_ = false;
+  train_done_cv_.notify_all();
+
+  // (a) O(1) atomic swap: the new model/matcher become THE model.
+  parser_.CommitRetrain(std::move(prepared));
+  // (b) Generation bump: ids prematched (IngestBatch) or assigned online
+  // against the superseded model are no longer authoritative.
+  ++model_generation_;
+  trained_ = true;
+  ++stats_.trainings;
+  stats_.last_training_seconds = train_seconds;
   stats_.model_bytes = parser_.ModelBytes();
   stats_.num_templates = parser_.model().size();
 
-  // Re-assign templates for the training window (retraining can refine
-  // earlier assignments) and publish node metadata (§3).
-  auto assignments = parser_.MatchAll(batch, config_.num_threads);
-  for (uint64_t i = 0; i < window; ++i) {
-    BB_RETURN_IF_ERROR(topic_.AssignTemplate(begin + i, assignments[i]));
+  // (c) Re-assign the training window (retraining refines earlier
+  // assignments) with the match results computed off-lock.
+  for (uint64_t i = 0; i < run.batch.size(); ++i) {
+    BB_RETURN_IF_ERROR(
+        topic_.AssignTemplate(run.window_begin + i, assignments[i]));
   }
+
+  // (d) Records that arrived while the snapshot trained carry ids from
+  // the superseded model (including temporaries the swap just dropped).
+  // Re-match them against the new model in arrival order — adopting
+  // misses exactly as online matching would have — so no assignment is
+  // lost and the end state equals a synchronous training at the trigger
+  // point. Matching is ~ns-scale per record, so this section stays far
+  // below training cost.
+  const uint64_t now = topic_.size();
+  if (now > run.snapshot_size) {
+    std::vector<std::string> tail;
+    tail.reserve(now - run.snapshot_size);
+    BB_RETURN_IF_ERROR(topic_.Scan(
+        run.snapshot_size, now,
+        [&tail](uint64_t, const LogRecord& rec) { tail.push_back(rec.text); }));
+    for (uint64_t i = 0; i < tail.size(); ++i) {
+      bool adopted = false;
+      const TemplateId id = parser_.MatchOrAdopt(tail[i], &adopted);
+      if (adopted) ++stats_.adopted_templates;
+      BB_RETURN_IF_ERROR(topic_.AssignTemplate(run.snapshot_size + i, id));
+    }
+  }
+
+  // (e) Publish node metadata (§3); overwrites per id, so entries for
+  // dropped temporaries are refreshed by their successors.
   parser_.model().ExportTo(&internal_);
   return Status::OK();
 }
@@ -252,7 +443,11 @@ Result<std::vector<TemplateAnomaly>> ManagedTopic::DetectAnomalies(
 
 TopicStats ManagedTopic::stats() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return stats_;
+  TopicStats snapshot = stats_;
+  // Derived, not maintained: the in-flight flag is the single source of
+  // truth for whether a snapshot is training right now.
+  snapshot.pending_trainings = training_in_flight_ ? 1 : 0;
+  return snapshot;
 }
 
 bool ManagedTopic::trained() const {

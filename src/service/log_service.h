@@ -7,9 +7,18 @@
 // threshold or an ingestion-count interval — (re)builds the clustering
 // tree and publishes node metadata to the internal topic; queries group
 // records by template at any saturation threshold without reprocessing.
+//
+// Retraining runs OFF the ingest lock (see ARCHITECTURE.md for the full
+// protocol): a trigger snapshots the training window and the model under
+// the lock, a background thread trains on the snapshot, and only the
+// final O(1) model/matcher swap — plus re-assignment of records that
+// arrived mid-training — re-enters the exclusive section. Ingest latency
+// is therefore independent of training cost.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -19,6 +28,7 @@
 
 #include "core/parser.h"
 #include "logstore/log_topic.h"
+#include "threading/thread_pool.h"
 #include "util/status.h"
 
 namespace bytebrain {
@@ -36,6 +46,23 @@ struct TopicConfig {
   uint64_t max_train_records = 200000;
   /// Threads for matching/training (paper: 1-5 cores per topic).
   int num_threads = 2;
+  /// Run triggered (re)trainings on a background thread and swap the new
+  /// model in atomically, so ingest is never blocked for the duration of
+  /// a training run. Disable for strictly sequential trigger semantics
+  /// (training completes inside the Ingest call that tripped it).
+  bool async_training = true;
+  /// Build the FIRST model synchronously at its trigger point even when
+  /// `async_training` is on: the initial window is small (bootstrap
+  /// cost is bounded by `initial_train_records`) and a deterministic
+  /// "trained right after record N" bootstrap is what early queries and
+  /// most callers expect. Set to false to push it to the background too.
+  bool sync_initial_training = true;
+  /// Test/ops instrumentation: invoked on the training thread right
+  /// before a background training run starts (snapshot already taken, no
+  /// topic lock held). Blocking here prolongs the training window
+  /// without blocking ingest — the async concurrency tests use it to
+  /// hold a training in flight deterministically.
+  std::function<void()> on_async_training_start;
   ByteBrainOptions parser_options;
   /// Tenant-defined variable-replacement rules (§4.1.2): name -> pattern,
   /// compiled on the linear-time engine at topic creation.
@@ -55,12 +82,29 @@ struct TemplateGroup {
 struct TopicStats {
   uint64_t ingested_records = 0;
   uint64_t ingested_bytes = 0;
+  /// Completed training cycles (synchronous + asynchronous).
   uint64_t trainings = 0;
   uint64_t matched_online = 0;
+  /// Temporary templates created for unmatched logs — online at ingest
+  /// plus any re-adopted while committing an async training (records
+  /// that arrived mid-training and miss the new model).
   uint64_t adopted_templates = 0;
   uint64_t model_bytes = 0;
   double last_training_seconds = 0.0;
   size_t num_templates = 0;
+  // --- async retraining ---
+  /// Trainings that ran on the background thread (subset of `trainings`).
+  uint64_t async_trainings = 0;
+  /// 1 while a snapshot is training in the background, else 0.
+  uint64_t pending_trainings = 0;
+  /// Trigger evaluations absorbed by an already-in-flight training; the
+  /// backlog is handled by one coalesced follow-up run at commit time.
+  uint64_t coalesced_triggers = 0;
+  /// Training runs that ended in an error (model left unchanged).
+  uint64_t failed_trainings = 0;
+  /// Exclusive-lock time of the last async commit (swap + re-assign) —
+  /// the only part of an async training ingest ever waits on.
+  double last_swap_seconds = 0.0;
 };
 
 /// Anomaly report comparing two ingestion windows (§1, §6: count-change
@@ -75,13 +119,30 @@ struct TemplateAnomaly {
 };
 
 /// A managed log topic with automatic parsing.
+///
+/// Locking contract (see the member comments on `mu_`): public methods
+/// document which lock they take, whether they may block on other work,
+/// and whether they can run a training cycle. "Shared" sections run
+/// concurrently with each other; "exclusive" sections serialize with
+/// everything.
 class ManagedTopic {
  public:
   ManagedTopic(std::string name, TopicConfig config);
 
+  /// Drains any in-flight background training (it still commits, so no
+  /// records lose their assignments), then joins the training thread.
+  ~ManagedTopic();
+
+  ManagedTopic(const ManagedTopic&) = delete;
+  ManagedTopic& operator=(const ManagedTopic&) = delete;
+
   /// Appends a record; assigns a template id online (adopting a temporary
-  /// template on a miss) and may trigger a synchronous training cycle.
-  /// Returns the record's sequence number.
+  /// template on a miss). Returns the record's sequence number.
+  /// Locking: takes `mu_` exclusive for the duration of one match+append.
+  /// May train: only when a trigger fires AND the synchronous path
+  /// applies (async_training off, or the initial training with
+  /// sync_initial_training on); otherwise a trigger merely snapshots and
+  /// schedules — this call never waits for a training run.
   Result<uint64_t> Ingest(std::string text, uint64_t timestamp_us = 0);
 
   /// Batch ingestion, the high-throughput path: matching runs
@@ -89,41 +150,105 @@ class ManagedTopic {
   /// other batches' match phases), then a single EXCLUSIVE section
   /// adopts misses, appends, updates stats, and checks the training
   /// triggers — one lock handoff per batch instead of one per record.
-  /// If a training cycle or an adoption lands mid-batch, the remaining
+  /// If a training swap or an adoption lands mid-batch, the remaining
   /// prematched ids are discarded and those records are re-matched under
   /// the lock, so results are identical to calling Ingest in a loop.
   /// `timestamps_us` is optional; when non-empty it must have one entry
   /// per text. Returns the records' sequence numbers in order.
+  /// Locking: shared for the match phase, exclusive for the rest; the
+  /// training-trigger rules of Ingest apply.
   Result<std::vector<uint64_t>> IngestBatch(
       std::vector<std::string> texts,
       const std::vector<uint64_t>& timestamps_us = {});
 
-  /// Forces a training cycle over the most recent records.
+  /// Forces a synchronous training cycle over the most recent records:
+  /// waits for any in-flight background training to commit first, then
+  /// trains under the exclusive lock and returns once the new model is
+  /// live. Resets the volume/record trigger counters exactly like a
+  /// triggered training (both paths share one snapshot routine).
+  /// Locking: exclusive; blocks ingest and queries until done.
   Status TrainNow();
+
+  /// Blocks until no background training is in flight, including
+  /// coalesced follow-up runs scheduled at commit time. Does not prevent
+  /// later ingests from triggering new trainings. Locking: shared (only
+  /// to read the flag); never blocks ingest.
+  void WaitForPendingTraining() const;
 
   /// Groups the records of [begin_seq, end_seq) by template, resolving
   /// template precision at `saturation_threshold` (§3 "Query"). Groups
   /// arrive ordered by descending count.
+  /// Locking: shared; concurrent with ingest match phases and background
+  /// training, excluded only by exclusive sections. Never trains.
   Result<std::vector<TemplateGroup>> Query(double saturation_threshold,
                                            uint64_t begin_seq = 0,
                                            uint64_t end_seq = UINT64_MAX) const;
 
   /// Compares template counts between two sequence windows and reports
   /// new templates and count changes >= `min_change_ratio`.
+  /// Locking: as Query (two shared-lock scans). Never trains.
   Result<std::vector<TemplateAnomaly>> DetectAnomalies(
       uint64_t window1_begin, uint64_t window1_end, uint64_t window2_begin,
       uint64_t window2_end, double min_change_ratio = 2.0) const;
 
   const std::string& name() const { return name_; }
+  /// Locking: shared; returns a consistent snapshot of the counters.
   TopicStats stats() const;
+  /// Unsynchronized accessors for the substrates; the returned references
+  /// are only safe to read while no concurrent exclusive section (ingest
+  /// / training commit) can run — i.e. in tests and single-threaded use.
   const LogTopic& topic() const { return topic_; }
   const InternalTopic& internal_topic() const { return internal_; }
   const ByteBrainParser& parser() const { return parser_; }
+  /// Locking: shared.
   bool trained() const;
 
  private:
+  /// One scheduled training cycle: everything the background thread
+  /// needs, snapshotted under the lock so the thread never touches live
+  /// state while training.
+  struct TrainingRun {
+    std::vector<std::string> batch;  // training-window texts (copies)
+    uint64_t window_begin = 0;       // sequence number of batch.front()
+    uint64_t snapshot_size = 0;      // topic size at snapshot; 0 = no work
+    TemplateModel base;              // Clone() of the live model
+  };
+
+  /// Trigger check; requires the exclusive lock. Routes to the sync or
+  /// async path; while a training is in flight, due triggers only count
+  /// `coalesced_triggers` (the commit re-checks and schedules one
+  /// follow-up for the whole backlog).
   Status MaybeTrainLocked();
-  Status TrainLocked();
+  /// Copies the training window and clones the model; resets the
+  /// volume/record counters (the ONE place they reset, shared by
+  /// triggered and manual trainings) and marks a training in flight.
+  /// Requires the exclusive lock. `run->snapshot_size == 0` after return
+  /// means the topic was empty and nothing was scheduled.
+  Status SnapshotTrainingLocked(TrainingRun* run);
+  /// Trains on the snapshot and computes the window assignments, with
+  /// every throw (user hook, allocation failure in training) converted
+  /// into a Status — nothing may escape with `training_in_flight_` set.
+  /// Runs lock-free state only; callable with or without the lock.
+  Result<PreparedRetrain> PrepareTrainingGuarded(
+      TrainingRun* run, std::vector<TemplateId>* assignments,
+      bool invoke_hook) const;
+  /// Snapshot + train + commit inline; requires the exclusive lock and
+  /// holds it for the full training (the pre-async behaviour).
+  Status TrainSyncLocked();
+  /// Snapshot + submit to the training thread; requires the exclusive
+  /// lock but returns without training.
+  Status ScheduleAsyncTrainingLocked();
+  /// Background-thread body: train off-lock, then take the exclusive
+  /// lock for the commit and a possible coalesced follow-up.
+  void RunAsyncTraining(TrainingRun run);
+  /// Publishes a prepared training: O(1) model/matcher swap, generation
+  /// bump, training-window re-assignment, re-match-or-adopt of records
+  /// that arrived mid-training, stats, metadata export. Requires the
+  /// exclusive lock; clears the in-flight flag up front so any return
+  /// path leaves the topic schedulable.
+  Status CommitTrainingLocked(const TrainingRun& run, PreparedRetrain prepared,
+                              const std::vector<TemplateId>& assignments,
+                              double train_seconds);
   /// Matches (or accepts a prematched id), appends, updates stats, and
   /// checks training triggers for one record. Requires the exclusive
   /// lock. `prematched` of kInvalidTemplateId means "match under the
@@ -140,12 +265,28 @@ class ManagedTopic {
   uint64_t bytes_since_training_ = 0;
   uint64_t records_since_training_ = 0;
   bool trained_ = false;
-  /// Bumped by every training cycle and every template adoption; lets
+  /// True from snapshot until commit/failure of a training cycle. At
+  /// most one cycle runs at a time; triggers firing meanwhile coalesce.
+  bool training_in_flight_ = false;
+  /// Set by the destructor: the in-flight run still commits, but no
+  /// follow-up is scheduled.
+  bool shutting_down_ = false;
+  /// Bumped by every training swap and every template adoption; lets
   /// IngestBatch detect that ids prematched under the shared lock went
-  /// stale before (or during) the exclusive section.
+  /// stale before (or during) the exclusive section, and invalidates
+  /// online assignments made against a model an async commit replaced.
   uint64_t model_generation_ = 0;
+  /// Single-thread pool for background training, created on first use;
+  /// one thread because cycles are serialized by design (coalescing).
+  /// Destroyed first in ~ManagedTopic, which drains the queue while all
+  /// other members are still alive.
+  std::unique_ptr<ThreadPool> train_pool_;
+  /// Signals training completion to TrainNow / WaitForPendingTraining.
+  mutable std::condition_variable_any train_done_cv_;
   /// Readers (Query, stats, the batch match phase) take shared; anything
-  /// touching parser/model/topic state takes exclusive.
+  /// touching parser/model/topic state takes exclusive. A background
+  /// training holds NO lock while it trains — only its snapshot and
+  /// commit sections do.
   mutable std::shared_mutex mu_;
 };
 

@@ -29,6 +29,16 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_available_.notify_one();
 }
 
+std::future<void> ThreadPool::Schedule(std::function<void()> task) {
+  // shared_ptr because std::function requires copyable callables and
+  // packaged_task is move-only.
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  Submit([packaged] { (*packaged)(); });
+  return future;
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });

@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -29,6 +30,14 @@ class ThreadPool {
 
   /// Enqueues a task. Safe from any thread, including pool threads.
   void Submit(std::function<void()> task);
+
+  /// Like Submit, but returns a future that completes when the task
+  /// finishes. An exception thrown by the task is captured and rethrown
+  /// from future.get() instead of terminating the worker — background
+  /// retraining submits through this so a throwing task can never take
+  /// the process down. The future also lets callers track one submission
+  /// without the pool-wide barrier of Wait().
+  std::future<void> Schedule(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished.
   void Wait();

@@ -77,6 +77,10 @@ TEST(ManagedTopicTest, UnmatchedLogsAreAdoptedAsTemporaries) {
 TEST(ManagedTopicTest, RetrainTriggersOnRecordInterval) {
   TopicConfig config = SmallConfig();
   config.train_interval_records = 100;
+  // This test pins the exact trigger cadence; async mode coalesces
+  // triggers that fire while a cycle is in flight (covered by
+  // service_async_test), so use the strictly sequential path.
+  config.async_training = false;
   ManagedTopic topic("t", config);
   for (int i = 0; i < 350; ++i) {
     ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());

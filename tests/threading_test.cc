@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "threading/thread_pool.h"
@@ -48,6 +50,43 @@ TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
   std::atomic<bool> ran{false};
   pool.Submit([&ran] { ran = true; });
   pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ScheduleFutureCompletesAfterTask) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  std::future<void> done = pool.Schedule([&ran] { ran = true; });
+  done.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ScheduleTracksOneTaskNotTheWholePool) {
+  // A single-thread pool runs FIFO: waiting on task 1's future must not
+  // require the later long-running task 2 to finish (unlike Wait()).
+  ThreadPool pool(1);
+  std::promise<void> release_second;
+  std::atomic<int> order{0};
+  std::future<void> first = pool.Schedule([&order] { order = 1; });
+  pool.Submit([&release_second, &order] {
+    release_second.get_future().wait();
+    order = 2;
+  });
+  first.get();
+  EXPECT_EQ(order.load(), 1);  // second task still parked
+  release_second.set_value();
+  pool.Wait();
+  EXPECT_EQ(order.load(), 2);
+}
+
+TEST(ThreadPoolTest, ScheduleCapturesTaskException) {
+  ThreadPool pool(1);
+  std::future<void> done =
+      pool.Schedule([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(done.get(), std::runtime_error);
+  // The worker survived the throwing task and keeps serving.
+  std::atomic<bool> ran{false};
+  pool.Schedule([&ran] { ran = true; }).get();
   EXPECT_TRUE(ran.load());
 }
 
