@@ -4,6 +4,7 @@
 
 #include "core/token_table.h"
 #include "core/variable_replacer.h"
+#include "util/hashing.h"
 
 namespace bytebrain {
 
@@ -107,9 +108,13 @@ constexpr std::array<bool, 256> kVarStart = BuildVarStartTable();
 
 }  // namespace
 
-void TokenizeReplacedIdsInto(std::string_view raw, const TokenTable& table,
-                             std::string* mixed_buf,
-                             std::vector<uint32_t>* ids) {
+// The fused replace+tokenize scan, parameterized over what consumes each
+// finished token: the online matcher wants interned ids, the sharded
+// ingest router wants a sequence hash. One loop, two sinks — the token
+// boundaries MUST stay bit-identical between them.
+template <typename Sink>
+void ScanReplacedTokens(std::string_view raw, std::string* mixed_buf,
+                        Sink&& sink) {
   const size_t n = raw.size();
   size_t i = 0;
   size_t tok_begin = 0;
@@ -126,13 +131,7 @@ void TokenizeReplacedIdsInto(std::string_view raw, const TokenTable& table,
     const std::string_view text =
         mixed ? std::string_view(*mixed_buf)
               : raw.substr(tok_begin, end - tok_begin);
-    // A lone replaced variable is the most common token shape; its id is
-    // pinned to kWildcardId, no table probe needed.
-    if (text.size() == 1 && text[0] == '*') {
-      ids->push_back(TokenTable::kWildcardId);
-    } else {
-      ids->push_back(table.Lookup(text));
-    }
+    sink(text);
     in_token = false;
     mixed = false;
     mixed_buf->clear();
@@ -190,6 +189,31 @@ void TokenizeReplacedIdsInto(std::string_view raw, const TokenTable& table,
     at_boundary = true;
   }
   finish(n);
+}
+
+void TokenizeReplacedIdsInto(std::string_view raw, const TokenTable& table,
+                             std::string* mixed_buf,
+                             std::vector<uint32_t>* ids) {
+  ScanReplacedTokens(raw, mixed_buf, [&](std::string_view text) {
+    // A lone replaced variable is the most common token shape; its id is
+    // pinned to kWildcardId, no table probe needed.
+    if (text.size() == 1 && text[0] == '*') {
+      ids->push_back(TokenTable::kWildcardId);
+    } else {
+      ids->push_back(table.Lookup(text));
+    }
+  });
+}
+
+uint64_t HashReplacedTokens(std::string_view raw, std::string* mixed_buf) {
+  // Order-sensitive fold of the per-token fast hashes. These values
+  // only ever meet other HashReplacedTokens values (routing/dedup
+  // keys), so the cheap combine is fine.
+  uint64_t h = kTokenSeqFastSeed;
+  ScanReplacedTokens(raw, mixed_buf, [&h](std::string_view text) {
+    h = CombineTokenHashFast(h, text);
+  });
+  return h;
 }
 
 Result<RegexTokenizer> RegexTokenizer::Create(

@@ -99,8 +99,7 @@ LogTopic::LogTopic(std::string name, size_t segment_capacity)
     : name_(std::move(name)),
       segment_capacity_(segment_capacity == 0 ? 1 : segment_capacity) {}
 
-uint64_t LogTopic::Append(LogRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+void LogTopic::AppendOneLocked(LogRecord record) {
   if (segments_.empty() ||
       segments_.back()->records.size() >= segment_capacity_) {
     segments_.push_back(std::make_unique<Segment>());
@@ -108,7 +107,20 @@ uint64_t LogTopic::Append(LogRecord record) {
   }
   text_bytes_ += record.text.size();
   segments_.back()->records.push_back(std::move(record));
-  return count_++;
+  ++count_;
+}
+
+uint64_t LogTopic::Append(LogRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendOneLocked(std::move(record));
+  return count_ - 1;
+}
+
+uint64_t LogTopic::AppendBatch(std::vector<LogRecord> records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t first = count_;
+  for (LogRecord& record : records) AppendOneLocked(std::move(record));
+  return first;
 }
 
 uint64_t LogTopic::size() const {

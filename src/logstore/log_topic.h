@@ -31,6 +31,11 @@ class LogTopic {
   /// Appends a record and returns its sequence number (0-based).
   uint64_t Append(LogRecord record);
 
+  /// Appends a batch under ONE lock acquisition; the records receive
+  /// consecutive sequence numbers starting at the returned value. The
+  /// high-throughput sibling of Append for the batched ingest path.
+  uint64_t AppendBatch(std::vector<LogRecord> records);
+
   /// Number of records appended so far.
   uint64_t size() const;
 
@@ -62,6 +67,8 @@ class LogTopic {
 
   Segment* MutableSegment(uint64_t seq);
   const LogRecord* Locate(uint64_t seq) const;
+  /// Segment rollover + accounting + push for one record; requires mu_.
+  void AppendOneLocked(LogRecord record);
 
   std::string name_;
   size_t segment_capacity_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <exception>
+#include <string_view>
 #include <unordered_map>
 
+#include "core/tokenizer.h"
+#include "util/hashing.h"
 #include "util/timer.h"
 
 namespace bytebrain {
@@ -13,6 +16,11 @@ ManagedTopic::ManagedTopic(std::string name, TopicConfig config)
       config_(std::move(config)),
       topic_(name_),
       parser_(config_.parser_options) {
+  const int num_shards = std::clamp(config_.num_ingest_shards, 1, 64);
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<IngestShard>());
+  }
   for (const auto& [rule_name, pattern] : config_.variable_rules) {
     // Invalid tenant rules are skipped rather than poisoning the topic;
     // the compile error is surfaced through the parser's API when added
@@ -60,18 +68,11 @@ Result<uint64_t> ManagedTopic::IngestOneLocked(std::string text,
     }
     ++stats_.matched_online;
     if (adopted) {
-      ++stats_.adopted_templates;
       // An adopted template (saturation 1.0) can shadow lower-saturation
       // matches for later logs; ids prematched before it existed are no
       // longer authoritative.
       ++model_generation_;
-      // Publish the adopted template's metadata immediately so queries
-      // can display it before the next training cycle.
-      const TreeNode* node = parser_.model().node(record.template_id);
-      if (node != nullptr) {
-        internal_.Put({node->id, node->parent, node->saturation,
-                       parser_.TemplateText(node->id), node->support});
-      }
+      PublishAdoptedLocked(record.template_id);
     }
   }
 
@@ -91,9 +92,17 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatch(
     return Status::InvalidArgument(
         "timestamps_us must be empty or match texts in size");
   }
+  if (texts.empty()) return std::vector<uint64_t>();
+  if (shards_.size() > 1) {
+    return IngestBatchSharded(std::move(texts), timestamps_us);
+  }
+  return IngestBatchUnsharded(std::move(texts), timestamps_us);
+}
+
+Result<std::vector<uint64_t>> ManagedTopic::IngestBatchUnsharded(
+    std::vector<std::string> texts, const std::vector<uint64_t>& timestamps_us) {
   std::vector<uint64_t> seqs;
   seqs.reserve(texts.size());
-  if (texts.empty()) return seqs;
 
   // Phase 1 (shared lock): shard-parallel matching against the current
   // model. Queries and other batches' match phases proceed concurrently;
@@ -128,6 +137,315 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatch(
     seqs.push_back(seq.value());
   }
   return seqs;
+}
+
+Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
+    std::vector<std::string> texts, const std::vector<uint64_t>& timestamps_us) {
+  const size_t num_shards = shards_.size();
+
+  // Batch-local dedup groups, one per distinct replaced token sequence.
+  // Grouping is what the content-hash routing buys: duplicates colocate,
+  // so every distinct shape is matched once per batch, not once per
+  // record — and a shard adopts each novel shape exactly once.
+  struct Group {
+    uint32_t rep = 0;       // index of the representative record
+    uint32_t members = 0;   // records sharing this shape
+    uint64_t bytes = 0;     // raw bytes routed (shard counter)
+    uint32_t shard = 0;
+    TemplateId resolved = kInvalidTemplateId;  // shared-model id
+    TemplateId local = kInvalidTemplateId;     // shard-pending id
+  };
+  std::vector<Group> groups;
+  std::vector<uint32_t> record_group(texts.size(), 0);
+  uint64_t gen0 = 0;
+
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (!trained_) {
+      // No model to route against yet; the bootstrap window takes the
+      // plain path (which also runs the initial training at its exact
+      // sequential trigger point).
+      lock.unlock();
+      return IngestBatchUnsharded(std::move(texts), timestamps_us);
+    }
+    gen0 = model_generation_;
+
+    // -- Dedup level 1: collapse byte-identical records on a raw-bytes
+    // fast hash (an order of magnitude cheaper than any scan; exact
+    // duplicate lines are the dominant redundancy in real streams —
+    // the paper's Fig. 4). Records with equal 64-bit hashes are treated
+    // as identical — the same trust the training path places in hashes
+    // when it deduplicates the window (paper Eq. 1; util/hashing.h).
+    struct RawGroup {
+      uint32_t rep = 0;       // first record with this raw text
+      uint32_t members = 0;
+      uint64_t bytes = 0;
+      uint32_t group = 0;     // content-group index, filled below
+    };
+    std::vector<RawGroup> raw_groups;
+    std::vector<uint32_t> record_raw(texts.size(), 0);
+    {
+      std::unordered_map<uint64_t, uint32_t> by_raw;
+      by_raw.reserve(texts.size());
+      for (uint32_t i = 0; i < texts.size(); ++i) {
+        const uint64_t h = HashBytesFast(texts[i]);
+        auto [it, inserted] =
+            by_raw.emplace(h, static_cast<uint32_t>(raw_groups.size()));
+        if (inserted) {
+          RawGroup rg;
+          rg.rep = i;
+          raw_groups.push_back(rg);
+        }
+        RawGroup& rg = raw_groups[it->second];
+        ++rg.members;
+        rg.bytes += texts[i].size();
+        record_raw[i] = it->second;
+      }
+    }
+
+    // -- Dedup level 2: content hash of the replaced token sequence,
+    // computed once per raw-distinct text. This is what both groups
+    // variable-value duplicates ("port 80" vs "port 443" → one shape)
+    // and routes the shape to its shard.
+    const VariableReplacer& replacer = parser_.replacer();
+    const bool fused = replacer.fused_fast_path();
+    std::vector<uint64_t> content(raw_groups.size());
+    ParallelForShards(
+        raw_groups.size(), config_.num_threads, [&](size_t begin, size_t end) {
+          std::string scratch;
+          std::vector<std::string_view> tokens;
+          for (size_t i = begin; i < end; ++i) {
+            const std::string& text = texts[raw_groups[i].rep];
+            if (fused) {
+              content[i] = HashReplacedTokens(text, &scratch);
+              continue;
+            }
+            // Tenant-rule topics: same hash, two passes.
+            replacer.ReplaceInto(text, &scratch);
+            tokens.clear();
+            TokenizeDefaultInto(scratch, &tokens);
+            uint64_t h = kTokenSeqFastSeed;
+            for (std::string_view t : tokens) {
+              h = CombineTokenHashFast(h, t);
+            }
+            content[i] = h;
+          }
+        });
+
+    // -- Content groups: one per distinct shape.
+    std::unordered_map<uint64_t, uint32_t> by_hash;
+    by_hash.reserve(raw_groups.size());
+    for (uint32_t r = 0; r < raw_groups.size(); ++r) {
+      RawGroup& rg = raw_groups[r];
+      auto [it, inserted] =
+          by_hash.emplace(content[r], static_cast<uint32_t>(groups.size()));
+      if (inserted) {
+        Group g;
+        g.rep = rg.rep;
+        g.shard = static_cast<uint32_t>(content[r] % num_shards);
+        groups.push_back(g);
+      }
+      rg.group = it->second;
+      Group& g = groups[it->second];
+      g.members += rg.members;
+      g.bytes += rg.bytes;
+    }
+    for (uint32_t i = 0; i < texts.size(); ++i) {
+      record_group[i] = raw_groups[record_raw[i]].group;
+    }
+
+    // -- Prematch each distinct shape against the shared model.
+    ParallelFor(groups.size(), config_.num_threads, [&](size_t g) {
+      groups[g].resolved = parser_.Match(texts[groups[g].rep]);
+    });
+
+    // -- Shard phase: misses match against — and adopt into — their
+    // shard's pending model, in parallel, still only SHARED on mu_.
+    // Reading model_generation_ here is safe: writes happen only under
+    // the exclusive lock.
+    std::vector<std::vector<uint32_t>> shard_worklist(num_shards);
+    for (uint32_t g = 0; g < groups.size(); ++g) {
+      shard_worklist[groups[g].shard].push_back(g);
+    }
+    ParallelForShards(
+        num_shards, config_.num_threads, [&](size_t begin, size_t end) {
+          std::string replaced_scratch;
+          std::vector<std::string_view> view_scratch;
+          for (size_t s = begin; s < end; ++s) {
+            if (shard_worklist[s].empty()) continue;
+            IngestShard& shard = *shards_[s];
+            std::unique_lock<std::shared_mutex> shard_lock(shard.mu);
+            for (uint32_t g : shard_worklist[s]) {
+              Group& group = groups[g];
+              shard.counters.records += group.members;
+              shard.counters.bytes += group.bytes;
+              if (group.resolved != kInvalidTemplateId) {
+                ++shard.counters.matched_shared;
+                continue;
+              }
+              const std::string& rep = texts[group.rep];
+              if (!shard.pending.empty()) {
+                if (shard.pending_matcher == nullptr) {
+                  shard.pending_matcher = std::make_unique<TemplateMatcher>(
+                      shard.pending, &parser_.replacer());
+                }
+                group.local = shard.pending_matcher->Match(rep);
+                if (group.local != kInvalidTemplateId) {
+                  ++shard.counters.matched_pending;
+                  continue;
+                }
+              }
+              // Novel shape: adopt into the shard's pending model with
+              // the exact replaced token sequence online adoption would
+              // have used (one replace+tokenize per DISTINCT shape).
+              replacer.ReplaceInto(rep, &replaced_scratch);
+              view_scratch.clear();
+              TokenizeDefaultInto(replaced_scratch, &view_scratch);
+              std::vector<std::string> tokens(view_scratch.begin(),
+                                              view_scratch.end());
+              group.local = shard.pending.AdoptTemporary(std::move(tokens));
+              if (shard.pending_matcher != nullptr) {
+                shard.pending_matcher->Insert(
+                    *shard.pending.node(group.local));
+              }
+              shard.reps.push_back(rep);
+              shard.gens.push_back(gen0);
+              ++shard.counters.adopted;
+            }
+          }
+        });
+  }
+
+  // Exclusive section: fold pendings into the shared model, then append
+  // every record in input order with its resolved id.
+  std::vector<uint64_t> seqs;
+  seqs.reserve(texts.size());
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Anything that changed the model since the shared phase — a training
+  // swap, a single-record adoption, another batch's fold — invalidates
+  // the prematch verdicts AND can have dropped the pending ids (a
+  // training reset). Fold first (stale pendings re-match inside), then
+  // fall back to per-record matching under the lock, exactly like the
+  // unsharded path does on generation mismatch.
+  const bool stale = model_generation_ != gen0;
+  FoldShardPendingsLocked();
+  if (stale) {
+    for (size_t i = 0; i < texts.size(); ++i) {
+      auto seq = IngestOneLocked(std::move(texts[i]),
+                                 timestamps_us.empty() ? 0 : timestamps_us[i],
+                                 kInvalidTemplateId);
+      BB_RETURN_IF_ERROR(seq.status());
+      seqs.push_back(seq.value());
+    }
+    return seqs;
+  }
+  // Lean append: every record already has a resolved id, so stats are
+  // bulked and the store is appended under ONE lock. The training
+  // triggers are evaluated once, after the batch — on the sharded path
+  // the batch is the unit of ingest, so the snapshot window simply lands
+  // on a batch boundary instead of mid-batch.
+  std::vector<LogRecord> records;
+  records.reserve(texts.size());
+  uint64_t batch_bytes = 0;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    const Group& g = groups[record_group[i]];
+    LogRecord record;
+    record.timestamp_us = timestamps_us.empty() ? 0 : timestamps_us[i];
+    record.text = std::move(texts[i]);
+    record.template_id = g.resolved != kInvalidTemplateId
+                             ? g.resolved
+                             : shards_[g.shard]->remap[g.local - 1];
+    batch_bytes += record.text.size();
+    records.push_back(std::move(record));
+  }
+  const uint64_t first_seq = topic_.AppendBatch(std::move(records));
+  for (size_t i = 0; i < texts.size(); ++i) seqs.push_back(first_seq + i);
+  stats_.matched_online += texts.size();
+  stats_.ingested_records += texts.size();
+  stats_.ingested_bytes += batch_bytes;
+  bytes_since_training_ += batch_bytes;
+  records_since_training_ += texts.size();
+  BB_RETURN_IF_ERROR(MaybeTrainLocked());
+  return seqs;
+}
+
+void ManagedTopic::FoldShardPendingsLocked() {
+  // One generation snapshot for the whole fold: adoptions below do not
+  // re-stale the remaining pendings, because shapes within and across
+  // shards are pairwise distinct by construction (hash routing within a
+  // batch, pending_matcher dedup across batches). The bump lands once,
+  // at the end — staleness checks test equality, not counts.
+  const uint64_t fold_gen = model_generation_;
+  bool adopted_any = false;
+  for (std::unique_ptr<IngestShard>& shard_ptr : shards_) {
+    IngestShard& shard = *shard_ptr;
+    std::unique_lock<std::shared_mutex> shard_lock(shard.mu);
+    const size_t total = shard.pending.size();
+    size_t next = shard.remap.size();
+    if (next >= total) continue;
+    ++shard.counters.merges;
+    ++stats_.shard_merges;
+    while (next < total) {
+      if (shard.gens[next] == fold_gen) {
+        // The shared model is unchanged since these shapes missed it:
+        // adopt the whole same-generation run verbatim.
+        size_t run = next;
+        while (run < total && shard.gens[run] == fold_gen) ++run;
+        std::vector<TemplateId> ids =
+            parser_.FoldTemporaries(&shard.pending, next, run - next);
+        for (TemplateId id : ids) {
+          shard.remap.push_back(id);
+          PublishAdoptedLocked(id);
+        }
+        adopted_any = true;
+        next = run;
+        continue;
+      }
+      // Adopted against an older model: its shape may exist by now
+      // (another batch's fold, a single-record adoption) — re-match the
+      // raw representative, adopting only on a genuine miss.
+      bool adopted = false;
+      const TemplateId id = parser_.MatchOrAdopt(shard.reps[next], &adopted);
+      shard.remap.push_back(id);
+      if (adopted) {
+        adopted_any = true;
+        PublishAdoptedLocked(id);
+      }
+      ++next;
+    }
+    // Folded entries' raw representative copies are dead (only the
+    // stale-fold path above reads them, never below the cursor) —
+    // release the text without disturbing the id-aligned indexing.
+    for (size_t i = 0; i < shard.remap.size(); ++i) {
+      if (!shard.reps[i].empty()) {
+        std::string().swap(shard.reps[i]);
+      }
+    }
+  }
+  if (adopted_any) ++model_generation_;
+}
+
+void ManagedTopic::PublishAdoptedLocked(TemplateId id) {
+  ++stats_.adopted_templates;
+  // Publish the adopted template's metadata immediately so queries can
+  // display it before the next training cycle.
+  const TreeNode* node = parser_.model().node(id);
+  if (node != nullptr) {
+    internal_.Put({node->id, node->parent, node->saturation,
+                   parser_.TemplateText(node->id), node->support});
+  }
+}
+
+void ManagedTopic::ResetShardsLocked() {
+  for (std::unique_ptr<IngestShard>& shard_ptr : shards_) {
+    IngestShard& shard = *shard_ptr;
+    std::unique_lock<std::shared_mutex> shard_lock(shard.mu);
+    shard.pending = TemplateModel();
+    shard.pending_matcher.reset();
+    shard.reps.clear();
+    shard.gens.clear();
+    shard.remap.clear();
+  }
 }
 
 Status ManagedTopic::MaybeTrainLocked() {
@@ -319,6 +637,10 @@ Status ManagedTopic::CommitTrainingLocked(
   // (b) Generation bump: ids prematched (IngestBatch) or assigned online
   // against the superseded model are no longer authoritative.
   ++model_generation_;
+  // Shard pendings are temporaries, and the swap just superseded every
+  // temporary: drop them. In-flight sharded batches detect the bump and
+  // fall back to matching under the lock, so no pending id dangles.
+  ResetShardsLocked();
   trained_ = true;
   ++stats_.trainings;
   stats_.last_training_seconds = train_seconds;
@@ -447,6 +769,13 @@ TopicStats ManagedTopic::stats() const {
   // Derived, not maintained: the in-flight flag is the single source of
   // truth for whether a snapshot is training right now.
   snapshot.pending_trainings = training_in_flight_ ? 1 : 0;
+  snapshot.shards.reserve(shards_.size());
+  for (const std::unique_ptr<IngestShard>& shard : shards_) {
+    // Shard counters are written under the shard's exclusive lock while
+    // mu_ is only shared; the shard's shared mode makes this read clean.
+    std::shared_lock<std::shared_mutex> shard_lock(shard->mu);
+    snapshot.shards.push_back(shard->counters);
+  }
   return snapshot;
 }
 

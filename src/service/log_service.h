@@ -46,6 +46,21 @@ struct TopicConfig {
   uint64_t max_train_records = 200000;
   /// Threads for matching/training (paper: 1-5 cores per topic).
   int num_threads = 2;
+  /// Ingest shards for IngestBatch (clamped to [1, 64]). 1 keeps the
+  /// single exclusive adopt/append section per batch. With N > 1, batch
+  /// records are deduplicated and routed to N sub-shards by a stable
+  /// hash of their variable-replaced token sequence (duplicates
+  /// colocate); shards match misses against — and adopt novel shapes
+  /// into — shard-local pending models in parallel under the SHARED
+  /// topic lock, and the batch's exclusive section folds the pending
+  /// temporaries into the shared model before any record is appended, so
+  /// queries and training snapshots always see one coherent model.
+  /// Caveat: all records of a batch are matched against the batch-start
+  /// model plus their own shard's pendings, so a temporary adopted late
+  /// in a batch never shadows an earlier record's match the way a
+  /// strictly sequential replay could; the difference is confined to
+  /// temporaries and is reconciled at the next training cycle.
+  int num_ingest_shards = 1;
   /// Run triggered (re)trainings on a background thread and swap the new
   /// model in atomically, so ingest is never blocked for the duration of
   /// a training run. Disable for strictly sequential trigger semantics
@@ -78,6 +93,22 @@ struct TemplateGroup {
   std::vector<uint64_t> sequence_numbers;
 };
 
+/// Per-ingest-shard counters (cumulative since topic creation).
+struct ShardStats {
+  /// Records routed to this shard by the content hash.
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  /// Distinct shapes this shard resolved via the shared-model prematch.
+  uint64_t matched_shared = 0;
+  /// Distinct shapes resolved by this shard's own pending temporaries.
+  uint64_t matched_pending = 0;
+  /// Temporary templates this shard adopted locally.
+  uint64_t adopted = 0;
+  /// Fold operations that moved this shard's pendings into the shared
+  /// model (at most one per batch that routed novel shapes here).
+  uint64_t merges = 0;
+};
+
 /// Statistics the service exposes per topic (Table 5's columns).
 struct TopicStats {
   uint64_t ingested_records = 0;
@@ -105,6 +136,11 @@ struct TopicStats {
   /// Exclusive-lock time of the last async commit (swap + re-assign) —
   /// the only part of an async training ingest ever waits on.
   double last_swap_seconds = 0.0;
+  // --- sharded ingest ---
+  /// One entry per ingest shard (size == effective num_ingest_shards).
+  std::vector<ShardStats> shards;
+  /// Total shard-pending → shared-model folds across all shards.
+  uint64_t shard_merges = 0;
 };
 
 /// Anomaly report comparing two ingestion windows (§1, §6: count-change
@@ -155,6 +191,12 @@ class ManagedTopic {
   /// the lock, so results are identical to calling Ingest in a loop.
   /// `timestamps_us` is optional; when non-empty it must have one entry
   /// per text. Returns the records' sequence numbers in order.
+  /// With `num_ingest_shards` > 1 the batch is deduplicated and routed
+  /// to sub-shards by content hash: misses adopt into shard-local
+  /// pending models in parallel while the topic lock is only SHARED,
+  /// and the exclusive section folds the pendings into the shared model
+  /// before appending (see the TopicConfig knob for the semantics
+  /// caveat).
   /// Locking: shared for the match phase, exclusive for the rest; the
   /// training-trigger rules of Ingest apply.
   Result<std::vector<uint64_t>> IngestBatch(
@@ -204,6 +246,37 @@ class ManagedTopic {
   bool trained() const;
 
  private:
+  /// One ingest sub-shard (TopicConfig::num_ingest_shards > 1). A shard
+  /// owns the temporaries adopted for novel shapes routed to it since
+  /// the last fold: a private TemplateModel whose OWN TokenTable means
+  /// parallel shard adoption never touches the table the live matcher
+  /// reads, plus an incrementally maintained matcher over it.
+  ///
+  /// Locking: `mu` is taken EXCLUSIVE by the batch match/adopt phase
+  /// (which holds the topic lock SHARED) and SHARED by stats(). The
+  /// topic-exclusive sections (fold, training commit) take it exclusive
+  /// too, though holding `mu_` exclusive already excludes every
+  /// shard-phase holder. Lock order: `mu_` before `shard.mu`, always.
+  struct IngestShard {
+    mutable std::shared_mutex mu;
+    /// Shard-adopted temporaries. Never cleared by folds (concurrent
+    /// batches may still hold pending ids); reset only when a training
+    /// commit supersedes all temporaries.
+    TemplateModel pending;
+    std::unique_ptr<TemplateMatcher> pending_matcher;
+    /// Per pending node (index = local id - 1): the raw representative
+    /// text and the model generation at adopt time. A pending adopted
+    /// under an older generation is re-MATCHED at fold time instead of
+    /// adopted verbatim — the shared model may have gained its shape
+    /// meanwhile (another batch's fold, a single-record adopt).
+    std::vector<std::string> reps;
+    std::vector<uint64_t> gens;
+    /// Shared-model ids of folded pendings (index = local id - 1); its
+    /// size is the fold cursor — nodes beyond it await the next fold.
+    std::vector<TemplateId> remap;
+    ShardStats counters;
+  };
+
   /// One scheduled training cycle: everything the background thread
   /// needs, snapshotted under the lock so the thread never touches live
   /// state while training.
@@ -255,9 +328,39 @@ class ManagedTopic {
   /// lock".
   Result<uint64_t> IngestOneLocked(std::string text, uint64_t timestamp_us,
                                    TemplateId prematched);
+  /// The num_ingest_shards == 1 batch path (prematch under the shared
+  /// lock, one exclusive per-record adopt/append section) — also the
+  /// fallback the sharded path takes before the first training.
+  Result<std::vector<uint64_t>> IngestBatchUnsharded(
+      std::vector<std::string> texts,
+      const std::vector<uint64_t>& timestamps_us);
+  /// The num_ingest_shards > 1 batch path: dedup + route by content
+  /// hash, shard-parallel match/adopt under the shared lock, one
+  /// exclusive fold/append section. See ARCHITECTURE.md §4.
+  Result<std::vector<uint64_t>> IngestBatchSharded(
+      std::vector<std::string> texts,
+      const std::vector<uint64_t>& timestamps_us);
+  /// Folds every shard's unfolded pending temporaries into the shared
+  /// model, extending each shard's remap. Pendings adopted at the
+  /// current model generation are adopted verbatim (their miss verdict
+  /// is still current); stale ones go through MatchOrAdopt. Requires the
+  /// exclusive lock.
+  void FoldShardPendingsLocked();
+  /// Drops all shard pending state (a committed training superseded
+  /// every temporary). Requires the exclusive lock.
+  void ResetShardsLocked();
+  /// Counts a just-adopted temporary and publishes its metadata to the
+  /// internal topic. Does NOT bump the generation (callers differ: the
+  /// online path bumps per adoption, a fold bumps once per fold).
+  /// Requires the exclusive lock.
+  void PublishAdoptedLocked(TemplateId id);
 
   std::string name_;
   TopicConfig config_;
+  /// Ingest shards (size == clamped num_ingest_shards); unique_ptr
+  /// because shared_mutex is immovable. Empty state between batches is
+  /// NOT guaranteed: pendings persist until a training resets them.
+  std::vector<std::unique_ptr<IngestShard>> shards_;
   LogTopic topic_;
   InternalTopic internal_;
   ByteBrainParser parser_;

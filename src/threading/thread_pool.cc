@@ -88,10 +88,20 @@ ThreadPool& SharedShardPool() {
 
 }  // namespace
 
+size_t SharedShardPoolWidth() { return SharedShardPool().num_threads(); }
+
+size_t ShardParallelism(size_t count, size_t requested) {
+  // Trivial budgets must not instantiate the shared pool: a
+  // num_threads=1 topic (the 1-core reference config) should never
+  // spawn hardware_concurrency workers it will never use.
+  if (count <= 1 || requested <= 1) return 1;
+  return std::min({requested, count, SharedShardPoolWidth() + 1});
+}
+
 void ParallelForShards(size_t count, size_t num_threads,
                        const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;
-  num_threads = std::max<size_t>(1, std::min(num_threads, count));
+  num_threads = ShardParallelism(count, num_threads);
   if (num_threads == 1 || tls_in_shared_pool_task) {
     fn(0, count);
     return;

@@ -66,8 +66,23 @@ void ParallelFor(size_t count, size_t num_threads,
 /// per-item dispatch overhead matters (e.g. per-log preprocessing).
 /// Shards run on a shared process-wide pool (no thread spawn per call);
 /// the calling thread executes the first shard itself. Nested calls from
-/// inside a shard run inline.
+/// inside a shard run inline. The effective parallelism is budgeted via
+/// ShardParallelism, so over-asking (a topic configured for more threads
+/// than the machine has) costs queueing overhead on nobody.
 void ParallelForShards(size_t count, size_t num_threads,
                        const std::function<void(size_t, size_t)>& fn);
+
+/// Worker threads in the shared shard pool (excludes the calling thread,
+/// which always executes one shard itself).
+size_t SharedShardPoolWidth();
+
+/// Thread budget actually worth spending on `count` independent shard
+/// tasks when the caller asks for `requested` threads: capped by the
+/// task count and by SharedShardPoolWidth() + 1. Splitting work into
+/// more fragments than the pool can run concurrently only adds dispatch
+/// overhead — per-topic configs are written against "cores per topic"
+/// (paper: 1-5), not against this machine, so the budget is clamped
+/// here, in one place, rather than at every call site.
+size_t ShardParallelism(size_t count, size_t requested);
 
 }  // namespace bytebrain

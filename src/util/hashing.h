@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 
 namespace bytebrain {
@@ -44,6 +45,40 @@ uint64_t HashTokenSequence(It begin, It end) {
     h = HashCombine(h, *it);
   }
   return h;
+}
+
+/// Fast 64-bit hash over bytes: 8-byte chunks, one multiply+rotate per
+/// chunk, avalanche finalizer. Several times faster than HashToken's
+/// byte-at-a-time FNV on typical tokens; use it where the value never
+/// has to agree with HashToken (e.g. the sharded ingest router's
+/// content keys, which only ever meet other HashBytesFast values).
+/// Deterministic across runs and processes, like everything here.
+/// Seed and per-token step of the fast token-sequence fold, shared by
+/// the fused scan (core/tokenizer.cc: HashReplacedTokens) and the
+/// two-pass tenant-rule path (service ingest router) so the two stay
+/// bit-identical by construction.
+inline constexpr uint64_t kTokenSeqFastSeed = 0x2545f4914f6cdd1dULL;
+inline uint64_t CombineTokenHashFast(uint64_t h, std::string_view token);
+
+inline uint64_t HashBytesFast(std::string_view bytes) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ bytes.size();
+  size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, bytes.data() + i, 8);
+    h = (h ^ chunk) * 0x100000001b3ULL;
+    h = (h << 29) | (h >> 35);
+  }
+  uint64_t tail = 0;
+  for (size_t shift = 0; i < bytes.size(); ++i, shift += 8) {
+    tail |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[i])) << shift;
+  }
+  h = (h ^ tail) * 0x100000001b3ULL;
+  return Mix64(h);
+}
+
+inline uint64_t CombineTokenHashFast(uint64_t h, std::string_view token) {
+  return (h ^ HashBytesFast(token)) * 0x100000001b3ULL;
 }
 
 }  // namespace bytebrain
