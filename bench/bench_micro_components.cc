@@ -3,6 +3,9 @@
 // variable replacement (fast vs regex path), deduplication, positional
 // similarity, saturation, and online matching.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
 
 #include "core/cluster.h"
 #include "core/parser.h"
@@ -354,6 +357,100 @@ void BM_TopicIngestSharded(benchmark::State& state) {
                           static_cast<int64_t>(kBatch * kBatches));
 }
 BENCHMARK(BM_TopicIngestSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+std::string BenchStorageDir() {
+  static int counter = 0;
+  return (std::filesystem::temp_directory_path() /
+          ("bb_bench_storage_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++)))
+      .string();
+}
+
+// Batched service-path ingest against the in-memory store (/0) vs the
+// segmented on-disk store (/1) at the production-default 8 MiB segment
+// size: the ~0.3 MiB stream never seals (sealed_segments reports 0 by
+// design), so the delta is the steady-state streaming-append price —
+// frame serialization, checksums, buffered write()s. Seal costs
+// (fsync + mmap + manifest, one per 8 MiB) amortize below that and are
+// exercised by BM_StorageScan's setup and the fig10 storage table. The
+// acceptance bar is disk within 25% of memory on this path.
+void BM_TopicIngestStorage(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  const bool disk = state.range(0) != 0;
+  uint64_t sealed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TopicConfig config;
+    config.initial_train_records = 1024;
+    config.train_interval_records = 1u << 30;
+    config.train_volume_bytes = 1ull << 40;
+    std::string dir;
+    if (disk) {
+      dir = BenchStorageDir();
+      config.storage.kind = StorageConfig::Kind::kSegmentedDisk;
+      config.storage.directory = dir;
+      config.storage.segment_data_bytes = 8ull << 20;
+    }
+    auto topic = std::make_unique<ManagedTopic>("bench", config);
+    for (size_t i = 0; i < 1024; ++i) {
+      if (!topic->Ingest(std::string(logs[i])).ok()) {
+        state.SkipWithError("ingest failed");
+        return;
+      }
+    }
+    state.ResumeTiming();
+    for (size_t begin = 1024; begin < logs.size();) {
+      const size_t len = std::min<size_t>(1024, logs.size() - begin);
+      std::vector<std::string> chunk(logs.begin() + begin,
+                                     logs.begin() + begin + len);
+      benchmark::DoNotOptimize(topic->IngestBatch(std::move(chunk)));
+      begin += len;
+    }
+    state.PauseTiming();
+    sealed += topic->stats().storage_sealed_segments;
+    topic.reset();
+    if (disk) std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.counters["sealed_segments"] = benchmark::Counter(
+      static_cast<double>(sealed) / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(logs.size() - 1024));
+}
+BENCHMARK(BM_TopicIngestStorage)->Arg(0)->Arg(1);
+
+// The sealed-scan path: full-window Scan throughput over the in-memory
+// store (/0) vs mmap'd sealed disk segments (/1). This is what training
+// snapshots and range queries pay per record on each backend.
+void BM_StorageScan(benchmark::State& state) {
+  const auto& logs = SampleLogs();
+  const bool disk = state.range(0) != 0;
+  StorageConfig cfg;
+  std::string dir;
+  if (disk) {
+    dir = BenchStorageDir();
+    cfg.kind = StorageConfig::Kind::kSegmentedDisk;
+    cfg.directory = dir;
+    cfg.segment_data_bytes = 64 * 1024;  // everything sealed quickly
+  }
+  LogTopic topic("bench", cfg);
+  constexpr size_t kRecords = 16384;
+  for (size_t i = 0; i < kRecords; ++i) {
+    topic.Append({i, logs[i & 4095], 0});
+  }
+  for (auto _ : state) {
+    uint64_t bytes = 0;
+    (void)topic.Scan(0, kRecords,
+                     [&bytes](uint64_t, const LogRecord& rec) {
+                       bytes += rec.text.size();
+                     });
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kRecords));
+  if (disk) std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_StorageScan)->Arg(0)->Arg(1);
 
 void BM_RegexSearchLinear(benchmark::State& state) {
   // Pathological pattern that kills backtracking engines; the NFA must

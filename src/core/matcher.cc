@@ -257,18 +257,35 @@ TemplateId TemplateMatcher::Match(std::string_view raw_log) const {
   return Match(raw_log, &scratch);
 }
 
-std::vector<TemplateId> TemplateMatcher::MatchAll(
-    const std::vector<std::string>& raw_logs, int num_threads) const {
+namespace {
+
+// Shared by the string and string_view MatchAll overloads; Logs only
+// needs operator[] convertible to string_view and size().
+template <typename Logs>
+std::vector<TemplateId> MatchAllImpl(const TemplateMatcher& matcher,
+                                     const Logs& raw_logs, int num_threads) {
   std::vector<TemplateId> out(raw_logs.size(), kInvalidTemplateId);
   ParallelForShards(raw_logs.size(),
                     static_cast<size_t>(std::max(1, num_threads)),
                     [&](size_t begin, size_t end) {
-                      MatchScratch scratch;
+                      TemplateMatcher::MatchScratch scratch;
                       for (size_t i = begin; i < end; ++i) {
-                        out[i] = Match(raw_logs[i], &scratch);
+                        out[i] = matcher.Match(raw_logs[i], &scratch);
                       }
                     });
   return out;
+}
+
+}  // namespace
+
+std::vector<TemplateId> TemplateMatcher::MatchAll(
+    const std::vector<std::string>& raw_logs, int num_threads) const {
+  return MatchAllImpl(*this, raw_logs, num_threads);
+}
+
+std::vector<TemplateId> TemplateMatcher::MatchAll(
+    const std::vector<std::string_view>& raw_logs, int num_threads) const {
+  return MatchAllImpl(*this, raw_logs, num_threads);
 }
 
 }  // namespace bytebrain

@@ -79,9 +79,13 @@ class TemplateMatcher {
   /// Match a batch across `num_threads` processing queues (§3 "the system
   /// distributes matching tasks across multiple processing queues").
   /// Locking: as Match; spawns shard tasks on the shared process pool but
-  /// itself blocks only until its own shards finish. Never trains.
+  /// itself blocks only until its own shards finish. Never trains. The
+  /// view overload serves the off-lock training path, which reads its
+  /// window as views into mmap'd storage segments.
   std::vector<TemplateId> MatchAll(const std::vector<std::string>& raw_logs,
                                    int num_threads) const;
+  std::vector<TemplateId> MatchAll(
+      const std::vector<std::string_view>& raw_logs, int num_threads) const;
 
   /// Adds one template (an adopted temporary, §3) without rebuilding. The
   /// node must come from the same model (its token_ids must be interned

@@ -42,6 +42,13 @@ Status ByteBrainParser::Retrain(const std::vector<std::string>& logs) {
 
 Result<PreparedRetrain> ByteBrainParser::PrepareRetrain(
     TemplateModel base, const std::vector<std::string>& logs) const {
+  return PrepareRetrain(
+      std::move(base),
+      std::vector<std::string_view>(logs.begin(), logs.end()));
+}
+
+Result<PreparedRetrain> ByteBrainParser::PrepareRetrain(
+    TemplateModel base, const std::vector<std::string_view>& logs) const {
   Trainer trainer(options_.trainer);
   auto out = trainer.Train(logs, replacer_);
   if (!out.ok()) return out.status();

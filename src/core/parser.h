@@ -80,9 +80,13 @@ class ByteBrainParser {
   /// like Retrain), then builds the matcher over the result. Touches no
   /// live parser state — const, and safe to run concurrently with
   /// Match*/MatchOrAdopt/Train on other threads. The embedded replacer
-  /// pointer means the parser must outlive the prepared state.
+  /// pointer means the parser must outlive the prepared state. The view
+  /// overload is what the service's off-lock training uses: views into
+  /// mmap'd sealed storage segments, valid for the call only.
   Result<PreparedRetrain> PrepareRetrain(
       TemplateModel base, const std::vector<std::string>& logs) const;
+  Result<PreparedRetrain> PrepareRetrain(
+      TemplateModel base, const std::vector<std::string_view>& logs) const;
 
   /// Publish half: swaps the prepared model/matcher in. O(1) pointer
   /// swaps — this is the only step the service's exclusive lock must

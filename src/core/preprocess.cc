@@ -20,7 +20,7 @@ struct ShardResult {
   std::vector<uint64_t> keys;  // dedup key per distinct slot
 };
 
-void ProcessShard(const std::vector<std::string>& raw_logs, size_t begin,
+void ProcessShard(const std::vector<std::string_view>& raw_logs, size_t begin,
                   size_t end, const VariableReplacer& replacer,
                   OrdinalEncoder* ordinal, bool deduplicate,
                   ShardResult* shard) {
@@ -67,6 +67,14 @@ void ProcessShard(const std::vector<std::string>& raw_logs, size_t begin,
 }  // namespace
 
 PreprocessResult Preprocess(const std::vector<std::string>& raw_logs,
+                            const VariableReplacer& replacer,
+                            const PreprocessOptions& options) {
+  return Preprocess(
+      std::vector<std::string_view>(raw_logs.begin(), raw_logs.end()),
+      replacer, options);
+}
+
+PreprocessResult Preprocess(const std::vector<std::string_view>& raw_logs,
                             const VariableReplacer& replacer,
                             const PreprocessOptions& options) {
   PreprocessResult result;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/encoder.h"
@@ -46,7 +47,14 @@ struct PreprocessOptions {
   int num_threads = 1;
 };
 
-/// Runs the full preprocessing pipeline over `raw_logs`.
+/// Runs the full preprocessing pipeline over `raw_logs`. The view
+/// overload is the core (the training path feeds it views into mmap'd
+/// storage segments so a window is never copied into RAM wholesale);
+/// the string overload borrows views of its input. Views must stay
+/// valid for the duration of the call only.
+PreprocessResult Preprocess(const std::vector<std::string_view>& raw_logs,
+                            const VariableReplacer& replacer,
+                            const PreprocessOptions& options);
 PreprocessResult Preprocess(const std::vector<std::string>& raw_logs,
                             const VariableReplacer& replacer,
                             const PreprocessOptions& options);

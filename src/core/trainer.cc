@@ -130,14 +130,21 @@ std::vector<LocalNode> BuildGroupTree(const std::vector<EncodedLog>& logs,
 
 Result<TrainOutput> Trainer::Train(const std::vector<std::string>& raw_logs,
                                    const VariableReplacer& replacer) const {
+  return Train(std::vector<std::string_view>(raw_logs.begin(), raw_logs.end()),
+               replacer);
+}
+
+Result<TrainOutput> Trainer::Train(
+    const std::vector<std::string_view>& raw_logs,
+    const VariableReplacer& replacer) const {
   TrainOutput out;
   out.assignments.assign(raw_logs.size(), kInvalidTemplateId);
   if (raw_logs.empty()) return out;
 
   // Optional random sampling to bound memory (§3). Sampled-out logs keep
   // kInvalidTemplateId assignments; callers match them online instead.
-  const std::vector<std::string>* input = &raw_logs;
-  std::vector<std::string> sampled;
+  const std::vector<std::string_view>* input = &raw_logs;
+  std::vector<std::string_view> sampled;
   std::vector<uint32_t> sample_map;
   if (options_.max_train_logs > 0 && raw_logs.size() > options_.max_train_logs) {
     Rng rng(options_.seed ^ 0x5A4D31ULL);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/cluster.h"
@@ -54,6 +55,11 @@ class Trainer {
   explicit Trainer(TrainerOptions options) : options_(std::move(options)) {}
 
   /// `replacer` must outlive the call. Empty input yields an empty model.
+  /// The view overload is the core — views (e.g. into mmap'd storage
+  /// segments) need only stay valid for the duration of the call; the
+  /// string overload borrows views of its input.
+  Result<TrainOutput> Train(const std::vector<std::string_view>& raw_logs,
+                            const VariableReplacer& replacer) const;
   Result<TrainOutput> Train(const std::vector<std::string>& raw_logs,
                             const VariableReplacer& replacer) const;
 

@@ -1,5 +1,6 @@
 #include "logstore/log_topic.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -9,7 +10,8 @@ namespace bytebrain {
 
 namespace {
 
-// Binary format helpers. Layout per file:
+// Single-file snapshot format (PersistTo/RecoverFrom), unchanged from
+// the pre-backend LogTopic. Layout per file:
 //   magic(8) count(8) { ts(8) tid(8) len(4) bytes(len) }* checksum(8)
 // The checksum is a running HashCombine over record hashes; cheap and
 // catches truncation/corruption for recovery.
@@ -97,57 +99,70 @@ Result<std::string> ReadFileFully(const std::string& path) {
 
 LogTopic::LogTopic(std::string name, size_t segment_capacity)
     : name_(std::move(name)),
-      segment_capacity_(segment_capacity == 0 ? 1 : segment_capacity) {}
+      store_(std::make_unique<MemoryBackend>(segment_capacity)) {}
 
-void LogTopic::AppendOneLocked(LogRecord record) {
-  if (segments_.empty() ||
-      segments_.back()->records.size() >= segment_capacity_) {
-    segments_.push_back(std::make_unique<Segment>());
-    segments_.back()->records.reserve(segment_capacity_);
+LogTopic::LogTopic(std::string name, const StorageConfig& storage)
+    : name_(std::move(name)), store_(CreateStorageBackend(storage)) {
+  storage_status_ = store_->Open();
+  if (!storage_status_.ok()) {
+    // Fail-soft: the topic runs (empty) on an in-memory store; the
+    // caller reads storage_status() to decide whether that is fatal
+    // (LogService::CreateTopic surfaces it as the creation result).
+    store_ = std::make_unique<MemoryBackend>(storage.memory_segment_capacity);
   }
-  text_bytes_ += record.text.size();
-  segments_.back()->records.push_back(std::move(record));
-  ++count_;
+}
+
+Status LogTopic::storage_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return storage_status_;
+}
+
+bool LogTopic::persistent_storage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->persistent();
 }
 
 uint64_t LogTopic::Append(LogRecord record) {
   std::lock_guard<std::mutex> lock(mu_);
-  AppendOneLocked(std::move(record));
-  return count_ - 1;
+  const Status appended = store_->Append(std::move(record));
+  // An append-path IO error (disk full, lost mount) goes sticky; the
+  // backend fail-softs internally (the record lands in its in-memory
+  // mirror, sealed data keeps serving from mmap, nothing more is
+  // written) so the stream stays intact — only durability is lost.
+  if (!appended.ok() && storage_status_.ok()) storage_status_ = appended;
+  return store_->size() - 1;
 }
 
 uint64_t LogTopic::AppendBatch(std::vector<LogRecord> records) {
   std::lock_guard<std::mutex> lock(mu_);
-  const uint64_t first = count_;
-  for (LogRecord& record : records) AppendOneLocked(std::move(record));
+  const uint64_t first = store_->size();
+  const Status appended = store_->AppendBatch(std::move(records));
+  if (!appended.ok() && storage_status_.ok()) storage_status_ = appended;
   return first;
 }
 
 uint64_t LogTopic::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return count_;
+  return store_->size();
 }
 
 uint64_t LogTopic::text_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return text_bytes_;
-}
-
-const LogRecord* LogTopic::Locate(uint64_t seq) const {
-  if (seq >= count_) return nullptr;
-  const size_t seg = seq / segment_capacity_;
-  const size_t off = seq % segment_capacity_;
-  return &segments_[seg]->records[off];
+  return store_->text_bytes();
 }
 
 Result<LogRecord> LogTopic::Read(uint64_t seq) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const LogRecord* rec = Locate(seq);
-  if (rec == nullptr) {
-    return Status::NotFound("sequence " + std::to_string(seq) +
-                            " beyond end of topic " + name_);
+  LogRecord rec;
+  const Status read = store_->Read(seq, &rec);
+  if (!read.ok()) {
+    if (read.IsNotFound()) {
+      return Status::NotFound("sequence " + std::to_string(seq) +
+                              " beyond end of topic " + name_);
+    }
+    return read;
   }
-  return *rec;
+  return rec;
 }
 
 Status LogTopic::Scan(
@@ -157,40 +172,67 @@ Status LogTopic::Scan(
   if (begin_seq > end_seq) {
     return Status::InvalidArgument("begin_seq > end_seq");
   }
-  end_seq = std::min(end_seq, count_);
-  for (uint64_t seq = begin_seq; seq < end_seq; ++seq) {
-    fn(seq, *Locate(seq));
-  }
-  return Status::OK();
+  return store_->Scan(begin_seq, std::min(end_seq, store_->size()), fn);
 }
 
 Status LogTopic::AssignTemplate(uint64_t seq, TemplateId template_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (seq >= count_) {
+  if (seq >= store_->size()) {
     return Status::NotFound("sequence beyond end of topic " + name_);
   }
-  const size_t seg = seq / segment_capacity_;
-  const size_t off = seq % segment_capacity_;
-  segments_[seg]->records[off].template_id = template_id;
-  return Status::OK();
+  return store_->AssignTemplate(seq, template_id);
+}
+
+Status LogTopic::AssignTemplateRange(uint64_t begin_seq,
+                                     const std::vector<TemplateId>& ids) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (begin_seq + ids.size() > store_->size()) {
+    return Status::NotFound("range beyond end of topic " + name_);
+  }
+  return store_->AssignTemplates(begin_seq, ids);
+}
+
+std::shared_ptr<const SealedRecordView> LogTopic::SnapshotSealed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->SnapshotSealed();
+}
+
+Status LogTopic::Checkpoint(std::string_view metadata) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->Checkpoint(metadata);
+}
+
+std::string LogTopic::recovered_metadata() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->metadata();
+}
+
+uint64_t LogTopic::sealed_segment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->sealed_segment_count();
+}
+
+uint64_t LogTopic::mapped_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->mapped_bytes();
 }
 
 Status LogTopic::PersistTo(const std::string& path) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string payload;
   PutU64(&payload, kTopicMagic);
-  PutU64(&payload, count_);
+  PutU64(&payload, store_->size());
   uint64_t checksum = kTopicMagic;
-  for (uint64_t seq = 0; seq < count_; ++seq) {
-    const LogRecord* rec = Locate(seq);
-    PutU64(&payload, rec->timestamp_us);
-    PutU64(&payload, rec->template_id);
-    PutU32(&payload, static_cast<uint32_t>(rec->text.size()));
-    payload.append(rec->text);
-    checksum = HashCombine(checksum, HashToken(rec->text) ^
-                                         Mix64(rec->timestamp_us) ^
-                                         rec->template_id);
-  }
+  BB_RETURN_IF_ERROR(store_->Scan(
+      0, store_->size(), [&payload, &checksum](uint64_t, const LogRecord& rec) {
+        PutU64(&payload, rec.timestamp_us);
+        PutU64(&payload, rec.template_id);
+        PutU32(&payload, static_cast<uint32_t>(rec.text.size()));
+        payload.append(rec.text);
+        checksum = HashCombine(checksum, HashToken(rec.text) ^
+                                             Mix64(rec.timestamp_us) ^
+                                             rec.template_id);
+      }));
   PutU64(&payload, checksum);
   return WriteFile(path, payload);
 }
@@ -226,19 +268,12 @@ Status LogTopic::RecoverFrom(const std::string& path) {
     return Status::Corruption("checksum mismatch in " + path);
   }
   std::lock_guard<std::mutex> lock(mu_);
-  segments_.clear();
-  count_ = 0;
-  text_bytes_ = 0;
-  for (auto& rec : records) {
-    if (segments_.empty() ||
-        segments_.back()->records.size() >= segment_capacity_) {
-      segments_.push_back(std::make_unique<Segment>());
-      segments_.back()->records.reserve(segment_capacity_);
-    }
-    text_bytes_ += rec.text.size();
-    segments_.back()->records.push_back(std::move(rec));
-    ++count_;
-  }
+  BB_RETURN_IF_ERROR(store_->Clear());
+  // One fail-soft batch: even on a disk error every record lands in
+  // the backend's memory mirror (the old contents are already gone —
+  // a partial load would be strictly worse than a non-durable one).
+  const Status appended = store_->AppendBatch(std::move(records));
+  if (!appended.ok() && storage_status_.ok()) storage_status_ = appended;
   return Status::OK();
 }
 

@@ -2,9 +2,11 @@
 //
 // A log topic is the unit of the log service: records are appended in
 // arrival order, indexed by sequence number, and never mutated (paper §3).
-// Records are held in fixed-size in-memory segments; segments can be
-// persisted to and recovered from a simple checksummed binary format so a
-// topic survives process restarts.
+// Record bytes live in a pluggable StorageBackend — in-memory segments
+// by default, or checksummed on-disk segment files with mmap'd sealed
+// scans and crash recovery (StorageConfig::Kind::kSegmentedDisk); either
+// way a topic can additionally be persisted to / recovered from a
+// single-file snapshot (PersistTo/RecoverFrom).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "logstore/log_record.h"
+#include "logstore/storage_backend.h"
 #include "util/status.h"
 
 namespace bytebrain {
@@ -23,10 +26,27 @@ namespace bytebrain {
 /// Thread-safe append-only record log with sequence-number addressing.
 class LogTopic {
  public:
-  /// `segment_capacity` records per segment; tuned for scan locality.
+  /// `segment_capacity` records per in-memory segment; tuned for scan
+  /// locality. Equivalent to a kMemory StorageConfig.
   explicit LogTopic(std::string name, size_t segment_capacity = 65536);
 
+  /// Backend-selecting constructor. A disk-backed topic recovers its
+  /// persisted records here (manifest replay, sealed verification,
+  /// torn-tail truncation); if recovery fails the topic falls back to
+  /// an EMPTY in-memory store and the failure is preserved in
+  /// storage_status() for the caller to surface — constructors cannot
+  /// return a Status, and a half-broken disk store must never crash.
+  LogTopic(std::string name, const StorageConfig& storage);
+
   const std::string& name() const { return name_; }
+
+  /// OK, or why the configured backend could not be opened (in which
+  /// case the topic is running on a fallback in-memory store) / the
+  /// first append-path IO error (records past it live only in memory).
+  Status storage_status() const;
+
+  /// True when the active backend persists records across restarts.
+  bool persistent_storage() const;
 
   /// Appends a record and returns its sequence number (0-based).
   uint64_t Append(LogRecord record);
@@ -54,27 +74,44 @@ class LogTopic {
   /// immutable but template assignments may be refined by retraining.
   Status AssignTemplate(uint64_t seq, TemplateId template_id);
 
-  /// Serializes all records to `path` (binary, checksummed).
+  /// Bulk rewrite of [begin_seq, begin_seq + ids.size()) under ONE lock
+  /// acquisition — the training-commit path; backends skip unchanged
+  /// ids, so re-assigning a mostly-stable window is nearly free.
+  Status AssignTemplateRange(uint64_t begin_seq,
+                             const std::vector<TemplateId>& ids);
+
+  /// Snapshot of the records currently SEALED on disk, scannable with
+  /// no topic lock held (see SealedRecordView); nullptr when the
+  /// backend has no off-lock-stable representation (memory store).
+  std::shared_ptr<const SealedRecordView> SnapshotSealed() const;
+
+  /// Durability point: flushes buffered appends and durably records
+  /// `metadata` (an opaque blob — the service checkpoints the topic's
+  /// serialized model here) in the backend's manifest. No-op metadata
+  /// store for the in-memory backend.
+  Status Checkpoint(std::string_view metadata);
+
+  /// The metadata blob recovered by the backend at open (empty if none
+  /// was ever checkpointed or the backend is volatile).
+  std::string recovered_metadata() const;
+
+  /// Storage observability (TopicStats::storage).
+  uint64_t sealed_segment_count() const;
+  uint64_t mapped_bytes() const;
+
+  /// Serializes all records to `path` (binary, checksummed) — a
+  /// single-file snapshot independent of the backend.
   Status PersistTo(const std::string& path) const;
 
-  /// Loads records from `path`, replacing current contents.
+  /// Loads records from `path`, replacing current contents (and, for a
+  /// persistent backend, its on-disk state).
   Status RecoverFrom(const std::string& path);
 
  private:
-  struct Segment {
-    std::vector<LogRecord> records;
-  };
-
-  Segment* MutableSegment(uint64_t seq);
-  const LogRecord* Locate(uint64_t seq) const;
-  /// Segment rollover + accounting + push for one record; requires mu_.
-  void AppendOneLocked(LogRecord record);
-
   std::string name_;
-  size_t segment_capacity_;
-  std::vector<std::unique_ptr<Segment>> segments_;
-  uint64_t count_ = 0;
-  uint64_t text_bytes_ = 0;
+  std::unique_ptr<StorageBackend> store_;
+  /// Sticky: backend-open failure or first append IO error.
+  Status storage_status_;
   mutable std::mutex mu_;
 };
 

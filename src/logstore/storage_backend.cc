@@ -1,0 +1,106 @@
+#include "logstore/storage_backend.h"
+
+#include <algorithm>
+
+#include "logstore/disk_backend.h"
+
+namespace bytebrain {
+
+MemoryBackend::MemoryBackend(size_t segment_capacity)
+    : segment_capacity_(segment_capacity == 0 ? 1 : segment_capacity) {}
+
+Status MemoryBackend::Append(LogRecord record) {
+  if (segments_.empty() ||
+      segments_.back()->records.size() >= segment_capacity_) {
+    segments_.push_back(std::make_unique<Segment>());
+    segments_.back()->records.reserve(segment_capacity_);
+  }
+  text_bytes_ += record.text.size();
+  segments_.back()->records.push_back(std::move(record));
+  ++count_;
+  return Status::OK();
+}
+
+Status MemoryBackend::AppendBatch(std::vector<LogRecord> records) {
+  for (LogRecord& record : records) {
+    (void)Append(std::move(record));  // cannot fail
+  }
+  return Status::OK();
+}
+
+const LogRecord* MemoryBackend::Locate(uint64_t seq) const {
+  if (seq >= count_) return nullptr;
+  const size_t seg = seq / segment_capacity_;
+  const size_t off = seq % segment_capacity_;
+  return &segments_[seg]->records[off];
+}
+
+Status MemoryBackend::Read(uint64_t seq, LogRecord* out) const {
+  const LogRecord* rec = Locate(seq);
+  if (rec == nullptr) {
+    return Status::NotFound("sequence " + std::to_string(seq) +
+                            " beyond end of store");
+  }
+  *out = *rec;
+  return Status::OK();
+}
+
+Status MemoryBackend::Scan(
+    uint64_t begin, uint64_t end,
+    const std::function<void(uint64_t, const LogRecord&)>& fn) const {
+  end = std::min(end, count_);
+  for (uint64_t seq = begin; seq < end; ++seq) {
+    fn(seq, *Locate(seq));
+  }
+  return Status::OK();
+}
+
+Status MemoryBackend::AssignTemplate(uint64_t seq, TemplateId template_id) {
+  if (seq >= count_) {
+    return Status::NotFound("sequence beyond end of store");
+  }
+  const size_t seg = seq / segment_capacity_;
+  const size_t off = seq % segment_capacity_;
+  segments_[seg]->records[off].template_id = template_id;
+  return Status::OK();
+}
+
+Status MemoryBackend::AssignTemplates(uint64_t begin_seq,
+                                      const std::vector<TemplateId>& ids) {
+  if (begin_seq + ids.size() > count_) {
+    return Status::NotFound("range beyond end of store");
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const uint64_t seq = begin_seq + i;
+    segments_[seq / segment_capacity_]
+        ->records[seq % segment_capacity_]
+        .template_id = ids[i];
+  }
+  return Status::OK();
+}
+
+Status MemoryBackend::Clear() {
+  segments_.clear();
+  count_ = 0;
+  text_bytes_ = 0;
+  metadata_.clear();
+  return Status::OK();
+}
+
+Status MemoryBackend::Checkpoint(std::string_view metadata) {
+  metadata_.assign(metadata);
+  return Status::OK();
+}
+
+std::unique_ptr<StorageBackend> CreateStorageBackend(
+    const StorageConfig& config) {
+  switch (config.kind) {
+    case StorageConfig::Kind::kSegmentedDisk:
+      return std::make_unique<SegmentedDiskBackend>(config);
+    case StorageConfig::Kind::kMemory:
+      break;
+  }
+  return std::make_unique<MemoryBackend>(config.memory_segment_capacity);
+}
+
+}  // namespace bytebrain

@@ -1,0 +1,203 @@
+// Pluggable record storage for LogTopic (paper §3 "the system stores
+// logs in append-only topics"; ROADMAP "Multi-topic storage backends").
+//
+// A StorageBackend owns the record bytes of one topic. Two
+// implementations:
+//   * MemoryBackend — the original in-memory segmented vector; fast,
+//     volatile, bounded by RAM.
+//   * SegmentedDiskBackend (disk_backend.h) — append-only checksummed
+//     segment files with mmap'd sealed segments and a manifest, so
+//     training windows can grow far past RAM and a topic survives
+//     process restarts.
+//
+// Threading contract: backends are UNSYNCHRONIZED. LogTopic serializes
+// every call under its own mutex; the only state that may be read
+// without it is a SealedRecordView, which is immutable by construction
+// (sealed segments never change after sealing and the view keeps them
+// alive via shared ownership).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logstore/log_record.h"
+#include "util/status.h"
+
+namespace bytebrain {
+
+/// Storage selection for one topic.
+struct StorageConfig {
+  enum class Kind {
+    kMemory,         // in-memory segments (the default; volatile)
+    kSegmentedDisk,  // on-disk segment files + manifest, mmap scans
+  };
+  Kind kind = Kind::kMemory;
+  /// Root directory of the topic's segment files; required (and created
+  /// if missing) for kSegmentedDisk, ignored for kMemory.
+  std::string directory;
+  /// Seal threshold: once the active segment holds this many frame
+  /// bytes it is fsynced, mmap'd read-only, and a new active segment
+  /// opens. Smaller segments seal (and hit the manifest) more often.
+  uint64_t segment_data_bytes = 8ull * 1024 * 1024;
+  /// Records per in-memory segment (kMemory only; scan locality knob).
+  size_t memory_segment_capacity = 65536;
+};
+
+/// An immutable snapshot of the records that were SEALED at snapshot
+/// time: [0, end_seq()). Safe to scan with NO topic lock held — sealed
+/// segments never mutate their text bytes, and the view shares
+/// ownership of the underlying maps, so it stays valid even if the
+/// backend is cleared or sealed further while the scan runs. This is
+/// what lets a training thread read its window off-lock (zero-copy, via
+/// mmap) instead of the snapshot copying the window under the lock.
+class SealedRecordView {
+ public:
+  virtual ~SealedRecordView() = default;
+  /// Records [0, end_seq()) are readable through this view.
+  virtual uint64_t end_seq() const = 0;
+  /// Invokes fn(seq, text) for each record in [begin, end); the views
+  /// point into the mapped segment bytes and are valid for the lifetime
+  /// of this SealedRecordView. Template ids are deliberately NOT
+  /// exposed: they are the one mutable field of a sealed record
+  /// (AssignTemplate), and off-lock readers must not race it.
+  virtual Status ScanTexts(
+      uint64_t begin, uint64_t end,
+      const std::function<void(uint64_t, std::string_view)>& fn) const = 0;
+};
+
+/// Append-only record store for one topic. All methods require external
+/// serialization (LogTopic's mutex) unless noted.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Loads existing state (disk: manifest replay, sealed verification,
+  /// torn-tail truncation). Must be called once before any other
+  /// method; a fresh store opens empty.
+  virtual Status Open() = 0;
+
+  /// Appends the record as sequence number size(). On an IO failure
+  /// the record is still retained in memory (fail-soft; see the
+  /// backend docs) and the Status reports the error.
+  virtual Status Append(LogRecord record) = 0;
+
+  /// Appends a batch with consecutive sequence numbers — one interface
+  /// crossing and one error check for the whole batch (the batched
+  /// ingest hot path). Returns the first failure but appends every
+  /// record regardless (same fail-soft contract as Append).
+  virtual Status AppendBatch(std::vector<LogRecord> records) {
+    Status first_error;
+    for (LogRecord& record : records) {
+      Status appended = Append(std::move(record));
+      if (!appended.ok() && first_error.ok()) {
+        first_error = std::move(appended);
+      }
+    }
+    return first_error;
+  }
+
+  virtual uint64_t size() const = 0;
+  virtual uint64_t text_bytes() const = 0;
+
+  /// Copies the record at `seq` into `*out`; NotFound past the end.
+  virtual Status Read(uint64_t seq, LogRecord* out) const = 0;
+
+  /// Invokes fn(seq, record) for each record in [begin, end) (clamped
+  /// to size()). The record reference is only valid during the call.
+  virtual Status Scan(
+      uint64_t begin, uint64_t end,
+      const std::function<void(uint64_t, const LogRecord&)>& fn) const = 0;
+
+  /// Rewrites the template id of an appended record (retraining refines
+  /// assignments; the text is immutable).
+  virtual Status AssignTemplate(uint64_t seq, TemplateId template_id) = 0;
+
+  /// Bulk variant for a contiguous range [begin_seq, begin_seq +
+  /// ids.size()): the training-commit path rewrites a whole window in
+  /// one call, and backends skip records whose id is unchanged (after
+  /// a model merge most established assignments are) instead of paying
+  /// per-record work for no-ops.
+  virtual Status AssignTemplates(uint64_t begin_seq,
+                                 const std::vector<TemplateId>& ids) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      BB_RETURN_IF_ERROR(AssignTemplate(begin_seq + i, ids[i]));
+    }
+    return Status::OK();
+  }
+
+  /// Drops every record (and any persisted state) — the bulk-import
+  /// path of LogTopic::RecoverFrom.
+  virtual Status Clear() = 0;
+
+  /// Pushes buffered appends to durable storage (disk: flush + fsync of
+  /// the active segment). No-op for volatile backends.
+  virtual Status Flush() = 0;
+
+  /// Durably records `metadata` (an opaque blob — the service stores
+  /// the topic's serialized model here) alongside the current segment
+  /// state; recovered by the next Open and returned by metadata().
+  virtual Status Checkpoint(std::string_view metadata) = 0;
+
+  /// The last checkpointed metadata blob (empty if none).
+  virtual const std::string& metadata() const = 0;
+
+  /// Snapshot of the currently sealed records, or nullptr when the
+  /// backend has no off-lock-stable representation (MemoryBackend).
+  virtual std::shared_ptr<const SealedRecordView> SnapshotSealed() const {
+    return nullptr;
+  }
+
+  /// True when records survive process restarts.
+  virtual bool persistent() const = 0;
+
+  /// Observability (TopicStats::storage); zeros for volatile backends.
+  virtual uint64_t sealed_segment_count() const { return 0; }
+  virtual uint64_t mapped_bytes() const { return 0; }
+};
+
+/// The original in-memory store: fixed-capacity segments of LogRecords.
+class MemoryBackend : public StorageBackend {
+ public:
+  explicit MemoryBackend(size_t segment_capacity);
+
+  Status Open() override { return Status::OK(); }
+  Status Append(LogRecord record) override;
+  Status AppendBatch(std::vector<LogRecord> records) override;
+  uint64_t size() const override { return count_; }
+  uint64_t text_bytes() const override { return text_bytes_; }
+  Status Read(uint64_t seq, LogRecord* out) const override;
+  Status Scan(uint64_t begin, uint64_t end,
+              const std::function<void(uint64_t, const LogRecord&)>& fn)
+      const override;
+  Status AssignTemplate(uint64_t seq, TemplateId template_id) override;
+  Status AssignTemplates(uint64_t begin_seq,
+                         const std::vector<TemplateId>& ids) override;
+  Status Clear() override;
+  Status Flush() override { return Status::OK(); }
+  Status Checkpoint(std::string_view metadata) override;
+  const std::string& metadata() const override { return metadata_; }
+  bool persistent() const override { return false; }
+
+ private:
+  struct Segment {
+    std::vector<LogRecord> records;
+  };
+
+  const LogRecord* Locate(uint64_t seq) const;
+
+  size_t segment_capacity_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  uint64_t count_ = 0;
+  uint64_t text_bytes_ = 0;
+  std::string metadata_;
+};
+
+/// Builds the backend selected by `config` (not yet Open()ed).
+std::unique_ptr<StorageBackend> CreateStorageBackend(
+    const StorageConfig& config);
+
+}  // namespace bytebrain

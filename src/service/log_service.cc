@@ -14,7 +14,7 @@ namespace bytebrain {
 ManagedTopic::ManagedTopic(std::string name, TopicConfig config)
     : name_(std::move(name)),
       config_(std::move(config)),
-      topic_(name_),
+      topic_(name_, config_.storage),
       parser_(config_.parser_options) {
   const int num_shards = std::clamp(config_.num_ingest_shards, 1, 64);
   shards_.reserve(num_shards);
@@ -26,6 +26,66 @@ ManagedTopic::ManagedTopic(std::string name, TopicConfig config)
     // the compile error is surfaced through the parser's API when added
     // explicitly.
     (void)parser_.AddVariableRule(rule_name, pattern);
+  }
+  if (topic_.size() > 0) RecoverFromStorage();
+}
+
+void ManagedTopic::RecoverFromStorage() {
+  // Volume stats are derivable from the recovered store; cycle counters
+  // (trainings, adoption counts, ...) restart at zero — they describe
+  // this process's lifetime.
+  stats_.ingested_records = topic_.size();
+  stats_.ingested_bytes = topic_.text_bytes();
+  stats_.recovered_records = topic_.size();
+
+  const std::string blob = topic_.recovered_metadata();
+  bool restored = false;
+  if (!blob.empty()) {
+    auto model = TemplateModel::Deserialize(blob);
+    // An unreadable model snapshot is not fatal: the records survived,
+    // and the initial-training trigger below re-learns from them.
+    if (model.ok()) {
+      PreparedRetrain prepared;
+      prepared.model = std::move(model).value();
+      prepared.matcher = std::make_unique<TemplateMatcher>(
+          prepared.model, &parser_.replacer());
+      parser_.CommitRetrain(std::move(prepared));
+      trained_ = true;
+      restored = true;
+      stats_.num_templates = parser_.model().size();
+      stats_.model_bytes = parser_.ModelBytes();
+      parser_.model().ExportTo(&internal_);
+    }
+  }
+  if (!restored) {
+    // No model: count the whole recovered window toward the initial
+    // training so the next ingest trips it.
+    records_since_training_ = topic_.size();
+    bytes_since_training_ = topic_.text_bytes();
+    return;
+  }
+  // Records appended after the last checkpoint may carry template ids
+  // the restored model does not know (temporaries adopted and lost in
+  // the crash). Re-match them in arrival order so every stored id
+  // resolves — the same reconciliation a training commit applies to
+  // mid-training arrivals. Collected first: AssignTemplate must not
+  // re-enter the topic from inside its own Scan.
+  std::vector<std::pair<uint64_t, std::string>> unknown;
+  (void)topic_.Scan(0, topic_.size(),
+                    [this, &unknown](uint64_t seq, const LogRecord& rec) {
+                      if (rec.template_id == kInvalidTemplateId ||
+                          parser_.model().node(rec.template_id) == nullptr) {
+                        unknown.emplace_back(seq, rec.text);
+                      }
+                    });
+  for (auto& [seq, text] : unknown) {
+    bool adopted = false;
+    const TemplateId id = parser_.MatchOrAdopt(text, &adopted);
+    if (adopted) {
+      ++model_generation_;
+      PublishAdoptedLocked(id);
+    }
+    (void)topic_.AssignTemplate(seq, id);
   }
 }
 
@@ -40,12 +100,19 @@ ManagedTopic::~ManagedTopic() {
   // runs here — not in member destruction — so every other member is
   // still alive while the last training commits.
   train_pool_.reset();
+  // A drained final commit may have staged a model checkpoint; flush
+  // it so a clean shutdown is recoverable to its last training.
+  MaybeFlushStorageCheckpoint();
 }
 
 Result<uint64_t> ManagedTopic::Ingest(std::string text,
                                       uint64_t timestamp_us) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  return IngestOneLocked(std::move(text), timestamp_us, kInvalidTemplateId);
+  auto result =
+      IngestOneLocked(std::move(text), timestamp_us, kInvalidTemplateId);
+  lock.unlock();
+  MaybeFlushStorageCheckpoint();
+  return result;
 }
 
 Result<uint64_t> ManagedTopic::IngestOneLocked(std::string text,
@@ -136,6 +203,8 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchUnsharded(
     BB_RETURN_IF_ERROR(seq.status());
     seqs.push_back(seq.value());
   }
+  lock.unlock();
+  MaybeFlushStorageCheckpoint();
   return seqs;
 }
 
@@ -152,6 +221,7 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
     uint32_t members = 0;   // records sharing this shape
     uint64_t bytes = 0;     // raw bytes routed (shard counter)
     uint32_t shard = 0;
+    uint64_t hash = 0;      // content hash (dedup + routing + memo key)
     TemplateId resolved = kInvalidTemplateId;  // shared-model id
     TemplateId local = kInvalidTemplateId;     // shard-pending id
   };
@@ -243,6 +313,7 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
         Group g;
         g.rep = rg.rep;
         g.shard = static_cast<uint32_t>(content[r] % num_shards);
+        g.hash = content[r];
         groups.push_back(g);
       }
       rg.group = it->second;
@@ -254,15 +325,14 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
       record_group[i] = raw_groups[record_raw[i]].group;
     }
 
-    // -- Prematch each distinct shape against the shared model.
-    ParallelFor(groups.size(), config_.num_threads, [&](size_t g) {
-      groups[g].resolved = parser_.Match(texts[groups[g].rep]);
-    });
-
-    // -- Shard phase: misses match against — and adopt into — their
-    // shard's pending model, in parallel, still only SHARED on mu_.
-    // Reading model_generation_ here is safe: writes happen only under
-    // the exclusive lock.
+    // -- Shard phase: each distinct shape is resolved by its shard, in
+    // parallel, still only SHARED on mu_: the shard's cross-batch memo
+    // first (a hit stamped with the current generation skips the shared
+    // matcher entirely — repeat shapes are the steady state), then the
+    // shared-model prematch, then the shard's pending matcher, and a
+    // genuine miss adopts into the shard-local pending model. Reading
+    // model_generation_ here is safe: writes happen only under the
+    // exclusive lock.
     std::vector<std::vector<uint32_t>> shard_worklist(num_shards);
     for (uint32_t g = 0; g < groups.size(); ++g) {
       shard_worklist[groups[g].shard].push_back(g);
@@ -279,11 +349,23 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
               Group& group = groups[g];
               shard.counters.records += group.members;
               shard.counters.bytes += group.bytes;
-              if (group.resolved != kInvalidTemplateId) {
-                ++shard.counters.matched_shared;
+              const auto memo_it = shard.memo.find(group.hash);
+              if (memo_it != shard.memo.end() &&
+                  memo_it->second.gen == gen0) {
+                // The shape was resolved under THIS generation before:
+                // its verdict cannot have changed (any adoption or swap
+                // bumps the generation and stales the entry).
+                group.resolved = memo_it->second.id;
+                ++shard.counters.memo_hits;
                 continue;
               }
               const std::string& rep = texts[group.rep];
+              group.resolved = parser_.Match(rep);
+              if (group.resolved != kInvalidTemplateId) {
+                shard.memo[group.hash] = {group.resolved, gen0};
+                ++shard.counters.matched_shared;
+                continue;
+              }
               if (!shard.pending.empty()) {
                 if (shard.pending_matcher == nullptr) {
                   shard.pending_matcher = std::make_unique<TemplateMatcher>(
@@ -310,6 +392,7 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
               }
               shard.reps.push_back(rep);
               shard.gens.push_back(gen0);
+              shard.hashes.push_back(group.hash);
               ++shard.counters.adopted;
             }
           }
@@ -337,6 +420,8 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
       BB_RETURN_IF_ERROR(seq.status());
       seqs.push_back(seq.value());
     }
+    lock.unlock();
+    MaybeFlushStorageCheckpoint();
     return seqs;
   }
   // Lean append: every record already has a resolved id, so stats are
@@ -366,6 +451,8 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
   bytes_since_training_ += batch_bytes;
   records_since_training_ += texts.size();
   BB_RETURN_IF_ERROR(MaybeTrainLocked());
+  lock.unlock();
+  MaybeFlushStorageCheckpoint();
   return seqs;
 }
 
@@ -377,11 +464,15 @@ void ManagedTopic::FoldShardPendingsLocked() {
   // at the end — staleness checks test equality, not counts.
   const uint64_t fold_gen = model_generation_;
   bool adopted_any = false;
-  for (std::unique_ptr<IngestShard>& shard_ptr : shards_) {
-    IngestShard& shard = *shard_ptr;
+  // Fold cursor per shard before this fold; entries the fold resolves
+  // below are memoized afterwards with the POST-fold generation.
+  std::vector<size_t> fold_starts(shards_.size(), 0);
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    IngestShard& shard = *shards_[si];
     std::unique_lock<std::shared_mutex> shard_lock(shard.mu);
     const size_t total = shard.pending.size();
     size_t next = shard.remap.size();
+    fold_starts[si] = next;
     if (next >= total) continue;
     ++shard.counters.merges;
     ++stats_.shard_merges;
@@ -423,6 +514,19 @@ void ManagedTopic::FoldShardPendingsLocked() {
     }
   }
   if (adopted_any) ++model_generation_;
+  // Memoize the fold results under the final generation: the next
+  // batch that routes one of these shapes here resolves it from the
+  // memo without touching the shared matcher. (A fold that adopted
+  // nothing left the generation unchanged — the stamps are current
+  // either way.)
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    IngestShard& shard = *shards_[si];
+    if (fold_starts[si] >= shard.remap.size()) continue;
+    std::unique_lock<std::shared_mutex> shard_lock(shard.mu);
+    for (size_t i = fold_starts[si]; i < shard.remap.size(); ++i) {
+      shard.memo[shard.hashes[i]] = {shard.remap[i], model_generation_};
+    }
+  }
 }
 
 void ManagedTopic::PublishAdoptedLocked(TemplateId id) {
@@ -444,7 +548,12 @@ void ManagedTopic::ResetShardsLocked() {
     shard.pending_matcher.reset();
     shard.reps.clear();
     shard.gens.clear();
+    shard.hashes.clear();
     shard.remap.clear();
+    // Memo entries reference superseded ids AND a superseded
+    // generation; dropping them beats letting every lookup miss on the
+    // stamp.
+    shard.memo.clear();
   }
 }
 
@@ -475,7 +584,10 @@ Status ManagedTopic::TrainNow() {
   // background cycle commit first (its counters/window would otherwise
   // race ours), then train inline.
   train_done_cv_.wait(lock, [this] { return !training_in_flight_; });
-  return TrainSyncLocked();
+  const Status trained = TrainSyncLocked();
+  lock.unlock();
+  MaybeFlushStorageCheckpoint();
+  return trained;
 }
 
 void ManagedTopic::WaitForPendingTraining() const {
@@ -490,11 +602,27 @@ Status ManagedTopic::SnapshotTrainingLocked(TrainingRun* run) {
   const uint64_t window =
       std::min<uint64_t>(total, config_.max_train_records);
   run->window_begin = total - window;
-  run->batch.reserve(window);
+  // The sealed part of the window needs no copy: sealed segments are
+  // immutable and the snapshot keeps them mapped, so the TRAINING
+  // thread reads them off-lock. Only the unsealed tail (bounded by the
+  // active segment, not by max_train_records) is copied here.
+  run->tail_begin = run->window_begin;
+  run->sealed = topic_.SnapshotSealed();
+  if (run->sealed != nullptr) {
+    const uint64_t sealed_end = std::min(run->sealed->end_seq(), total);
+    if (sealed_end > run->tail_begin) {
+      run->tail_begin = sealed_end;
+    } else {
+      run->sealed.reset();  // window is entirely unsealed
+    }
+  }
+  run->tail.reserve(total - run->tail_begin);
   BB_RETURN_IF_ERROR(topic_.Scan(
-      run->window_begin, total, [run](uint64_t, const LogRecord& rec) {
-        run->batch.push_back(rec.text);
+      run->tail_begin, total, [run](uint64_t, const LogRecord& rec) {
+        run->tail.push_back(rec.text);
       }));
+  stats_.last_snapshot_copied_records = total - run->tail_begin;
+  stats_.last_snapshot_mapped_records = run->tail_begin - run->window_begin;
   run->base = parser_.SnapshotModel();
   run->snapshot_size = total;
   // The trigger counters measure "volume since the last training
@@ -514,10 +642,25 @@ Result<PreparedRetrain> ManagedTopic::PrepareTrainingGuarded(
     if (invoke_hook && config_.on_async_training_start) {
       config_.on_async_training_start();
     }
-    auto built = parser_.PrepareRetrain(std::move(run->base), run->batch);
+    // Materialize the window as VIEWS: the sealed part points straight
+    // into the mmap'd segments (held alive by run->sealed), the tail
+    // part into the snapshot's copies — the window itself is never
+    // duplicated into RAM, no matter how large max_train_records is.
+    std::vector<std::string_view> window;
+    window.reserve(run->window_size());
+    if (run->sealed != nullptr) {
+      const Status scanned = run->sealed->ScanTexts(
+          run->window_begin, run->tail_begin,
+          [&window](uint64_t, std::string_view text) {
+            window.push_back(text);
+          });
+      if (!scanned.ok()) return scanned;
+    }
+    for (const std::string& text : run->tail) window.emplace_back(text);
+    auto built = parser_.PrepareRetrain(std::move(run->base), window);
     if (built.ok()) {
       *assignments =
-          built.value().matcher->MatchAll(run->batch, config_.num_threads);
+          built.value().matcher->MatchAll(window, config_.num_threads);
     }
     return built;
   } catch (const std::exception& e) {
@@ -621,6 +764,10 @@ void ManagedTopic::RunAsyncTraining(TrainingRun run) {
   // Waiters re-check under the lock: if a follow-up was scheduled,
   // training_in_flight_ is set again and they keep sleeping.
   train_done_cv_.notify_all();
+  lock.unlock();
+  // The commit staged a model checkpoint; its fsyncs belong on this
+  // thread, not under the exclusive lock.
+  MaybeFlushStorageCheckpoint();
 }
 
 Status ManagedTopic::CommitTrainingLocked(
@@ -647,12 +794,23 @@ Status ManagedTopic::CommitTrainingLocked(
   stats_.model_bytes = parser_.ModelBytes();
   stats_.num_templates = parser_.model().size();
 
+  // From here on the swap is live, so assignment-path IO errors (a
+  // disk backend's sealed-segment pwrite can fail) must NOT abort the
+  // remaining steps — skipping (d)'s reconciliation or (e)'s metadata
+  // export would leave records pointing at the dropped model. Carry
+  // the first error to the end instead; affected records keep stale
+  // ids until the next training or restart recovery re-matches them.
+  Status first_error;
+  auto keep_first = [&first_error](Status status) {
+    if (!status.ok() && first_error.ok()) first_error = std::move(status);
+  };
+
   // (c) Re-assign the training window (retraining refines earlier
-  // assignments) with the match results computed off-lock.
-  for (uint64_t i = 0; i < run.batch.size(); ++i) {
-    BB_RETURN_IF_ERROR(
-        topic_.AssignTemplate(run.window_begin + i, assignments[i]));
-  }
+  // assignments) with the match results computed off-lock — one bulk
+  // call, one store lock; the backend skips unchanged ids, so the
+  // exclusive section does not pay per-record syscalls for a window
+  // whose assignments mostly survived the merge.
+  keep_first(topic_.AssignTemplateRange(run.window_begin, assignments));
 
   // (d) Records that arrived while the snapshot trained carry ids from
   // the superseded model (including temporaries the swap just dropped).
@@ -665,21 +823,47 @@ Status ManagedTopic::CommitTrainingLocked(
   if (now > run.snapshot_size) {
     std::vector<std::string> tail;
     tail.reserve(now - run.snapshot_size);
-    BB_RETURN_IF_ERROR(topic_.Scan(
+    keep_first(topic_.Scan(
         run.snapshot_size, now,
         [&tail](uint64_t, const LogRecord& rec) { tail.push_back(rec.text); }));
     for (uint64_t i = 0; i < tail.size(); ++i) {
       bool adopted = false;
       const TemplateId id = parser_.MatchOrAdopt(tail[i], &adopted);
       if (adopted) ++stats_.adopted_templates;
-      BB_RETURN_IF_ERROR(topic_.AssignTemplate(run.snapshot_size + i, id));
+      keep_first(topic_.AssignTemplate(run.snapshot_size + i, id));
     }
   }
 
   // (e) Publish node metadata (§3); overwrites per id, so entries for
   // dropped temporaries are refreshed by their successors.
   parser_.model().ExportTo(&internal_);
-  return Status::OK();
+
+  // (f) Durability: STAGE the committed model for a manifest
+  // checkpoint. The serialize is an O(model) copy; the expensive part
+  // (drain + fsyncs + manifest rename) runs in
+  // MaybeFlushStorageCheckpoint once the caller releases the exclusive
+  // lock, keeping this commit section O(1)-ish as designed.
+  if (topic_.persistent_storage()) {
+    pending_model_checkpoint_ = parser_.model().Serialize();
+    checkpoint_pending_.store(true, std::memory_order_release);
+  }
+  return first_error;
+}
+
+void ManagedTopic::MaybeFlushStorageCheckpoint() {
+  if (!checkpoint_pending_.load(std::memory_order_acquire)) return;
+  // checkpoint_mu_ serializes flushers (blobs reach the manifest in
+  // staging order) and is always taken BEFORE mu_.
+  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  std::string blob;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    blob.swap(pending_model_checkpoint_);
+    checkpoint_pending_.store(false, std::memory_order_release);
+  }
+  // Best effort — a full disk must not fail the already-committed
+  // swap; the sticky storage status reports it.
+  if (!blob.empty()) (void)topic_.Checkpoint(blob);
 }
 
 Result<std::vector<TemplateGroup>> ManagedTopic::Query(
@@ -769,6 +953,10 @@ TopicStats ManagedTopic::stats() const {
   // Derived, not maintained: the in-flight flag is the single source of
   // truth for whether a snapshot is training right now.
   snapshot.pending_trainings = training_in_flight_ ? 1 : 0;
+  snapshot.storage_persistent = topic_.persistent_storage();
+  snapshot.storage_ok = topic_.storage_status().ok();
+  snapshot.storage_sealed_segments = topic_.sealed_segment_count();
+  snapshot.storage_mapped_bytes = topic_.mapped_bytes();
   snapshot.shards.reserve(shards_.size());
   for (const std::unique_ptr<IngestShard>& shard : shards_) {
     // Shard counters are written under the shard's exclusive lock while
@@ -786,19 +974,49 @@ bool ManagedTopic::trained() const {
 
 Result<ManagedTopic*> LogService::CreateTopic(const std::string& name,
                                               TopicConfig config) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = topics_.emplace(
-      name, std::make_unique<ManagedTopic>(name, std::move(config)));
-  if (!inserted) {
-    return Status::AlreadyExists("topic '" + name + "' already exists");
+  // Construction can be expensive for a disk-backed topic (manifest
+  // replay, checksum verification of every sealed byte, re-matching) —
+  // run it OUTSIDE the catalog lock so other topics' lookups never
+  // stall on a recovery. The name is reserved with a null entry first;
+  // lookups treat the placeholder as not-yet-existing.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = topics_.emplace(name, nullptr);
+    if (!inserted) {
+      return Status::AlreadyExists("topic '" + name + "' already exists");
+    }
   }
+  std::unique_ptr<ManagedTopic> topic;
+  try {
+    topic = std::make_unique<ManagedTopic>(name, std::move(config));
+  } catch (...) {
+    // Construction threw (allocation, thread creation): release the
+    // reservation or the name would be wedged — AlreadyExists on
+    // create, NotFound on lookup — until restart.
+    std::lock_guard<std::mutex> lock(mu_);
+    topics_.erase(name);
+    throw;
+  }
+  // A topic whose storage failed to open runs on an empty in-memory
+  // fallback; for the service API that is a failed creation — the
+  // caller asked for durability it would not get.
+  const Status storage = topic->topic().storage_status();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!storage.ok()) {
+    topics_.erase(name);
+    return storage;
+  }
+  auto it = topics_.find(name);
+  it->second = std::move(topic);
   return it->second.get();
 }
 
 Result<ManagedTopic*> LogService::GetTopic(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = topics_.find(name);
-  if (it == topics_.end()) {
+  // A null entry is a reservation: the topic is still constructing
+  // (recovering) on the creator's thread.
+  if (it == topics_.end() || it->second == nullptr) {
     return Status::NotFound("topic '" + name + "' does not exist");
   }
   return it->second.get();
@@ -808,7 +1026,9 @@ std::vector<std::string> LogService::TopicNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(topics_.size());
-  for (const auto& [name, topic] : topics_) names.push_back(name);
+  for (const auto& [name, topic] : topics_) {
+    if (topic != nullptr) names.push_back(name);
+  }
   return names;
 }
 

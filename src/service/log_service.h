@@ -16,6 +16,7 @@
 // is therefore independent of training cost.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -42,8 +43,19 @@ struct TopicConfig {
   /// Records required before the FIRST training (the paper configures
   /// initial training to finish within minutes of topic creation).
   uint64_t initial_train_records = 1000;
-  /// Cap on records fed into one training run (OOM guard, §3).
+  /// Cap on records fed into one training run (OOM guard, §3). With a
+  /// disk-backed topic this can be far larger than RAM-resident
+  /// windows: the sealed part of the window is read from mmap'd
+  /// segments, off-lock, without being copied at snapshot time.
   uint64_t max_train_records = 200000;
+  /// Record storage for the topic: in-memory segments (the default) or
+  /// segmented on-disk storage with mmap'd sealed scans, a checksummed
+  /// manifest, and crash recovery (records AND the latest trained model
+  /// survive restarts — see ARCHITECTURE.md §5). On open failure the
+  /// topic runs on an empty in-memory fallback and the error is
+  /// surfaced through LogTopic::storage_status() /
+  /// LogService::CreateTopic.
+  StorageConfig storage;
   /// Threads for matching/training (paper: 1-5 cores per topic).
   int num_threads = 2;
   /// Ingest shards for IngestBatch (clamped to [1, 64]). 1 keeps the
@@ -107,6 +119,11 @@ struct ShardStats {
   /// Fold operations that moved this shard's pendings into the shared
   /// model (at most one per batch that routed novel shapes here).
   uint64_t merges = 0;
+  /// Distinct shapes resolved by the shard's cross-batch memo (content
+  /// hash → template id, generation-stamped) without touching the
+  /// shared matcher at all — the steady-state fast path for repeat
+  /// shapes across batches.
+  uint64_t memo_hits = 0;
 };
 
 /// Statistics the service exposes per topic (Table 5's columns).
@@ -141,6 +158,27 @@ struct TopicStats {
   std::vector<ShardStats> shards;
   /// Total shard-pending → shared-model folds across all shards.
   uint64_t shard_merges = 0;
+  // --- storage ---
+  /// True when the topic's records survive restarts (disk backend).
+  bool storage_persistent = false;
+  /// False once the storage backend hit a sticky IO error (disk full,
+  /// lost mount, seal failure): records since then live only in
+  /// memory. Monitor this — the topic keeps ingesting (fail-soft) but
+  /// durability is gone and RAM grows with every record.
+  bool storage_ok = true;
+  /// Sealed (immutable, mmap'd) segment files and their mapped bytes.
+  uint64_t storage_sealed_segments = 0;
+  uint64_t storage_mapped_bytes = 0;
+  /// Records recovered from storage when the topic was (re)opened.
+  uint64_t recovered_records = 0;
+  /// Split of the last training snapshot: records COPIED under the
+  /// lock (the unsealed tail) vs records left on mmap'd sealed
+  /// segments for the training thread to read off-lock. For a
+  /// disk-backed topic with a large window, copied stays bounded by
+  /// the active segment while mapped covers the rest — the snapshot
+  /// cost no longer scales with max_train_records.
+  uint64_t last_snapshot_copied_records = 0;
+  uint64_t last_snapshot_mapped_records = 0;
 };
 
 /// Anomaly report comparing two ingestion windows (§1, §6: count-change
@@ -163,6 +201,13 @@ struct TemplateAnomaly {
 /// everything.
 class ManagedTopic {
  public:
+  /// With a persistent storage backend, construction RECOVERS the
+  /// topic: records are replayed from the segment manifest (torn tail
+  /// truncated), the checkpointed model is restored and re-published,
+  /// volume stats are rebuilt, and records whose template ids the
+  /// restored model does not know (post-checkpoint adoptions lost in
+  /// the crash) are re-matched. Storage failures never throw — check
+  /// topic().storage_status() (LogService::CreateTopic does).
   ManagedTopic(std::string name, TopicConfig config);
 
   /// Drains any in-flight background training (it still commits, so no
@@ -265,28 +310,57 @@ class ManagedTopic {
     TemplateModel pending;
     std::unique_ptr<TemplateMatcher> pending_matcher;
     /// Per pending node (index = local id - 1): the raw representative
-    /// text and the model generation at adopt time. A pending adopted
-    /// under an older generation is re-MATCHED at fold time instead of
-    /// adopted verbatim — the shared model may have gained its shape
-    /// meanwhile (another batch's fold, a single-record adopt).
+    /// text, the model generation at adopt time, and the content hash
+    /// that routed the shape here. A pending adopted under an older
+    /// generation is re-MATCHED at fold time instead of adopted
+    /// verbatim — the shared model may have gained its shape meanwhile
+    /// (another batch's fold, a single-record adopt).
     std::vector<std::string> reps;
     std::vector<uint64_t> gens;
+    std::vector<uint64_t> hashes;
     /// Shared-model ids of folded pendings (index = local id - 1); its
     /// size is the fold cursor — nodes beyond it await the next fold.
     std::vector<TemplateId> remap;
+    /// Cross-batch memo: content hash → shared-model id, stamped with
+    /// the model generation it was resolved under. A hit whose stamp
+    /// equals the batch-start generation skips the shared-matcher
+    /// prematch entirely (the PR-3 "remaining nicety"); entries go
+    /// stale on any generation bump and are refreshed on next resolve.
+    /// Written by the shard phase (shard.mu exclusive) and by folds
+    /// (topic lock exclusive); cleared with the pendings on training
+    /// commits.
+    struct MemoEntry {
+      TemplateId id = kInvalidTemplateId;
+      uint64_t gen = 0;
+    };
+    std::unordered_map<uint64_t, MemoEntry> memo;
     ShardStats counters;
   };
 
   /// One scheduled training cycle: everything the background thread
   /// needs, snapshotted under the lock so the thread never touches live
-  /// state while training.
+  /// state while training. The window [window_begin, snapshot_size)
+  /// comes in two parts: [window_begin, tail_begin) is SEALED storage,
+  /// held as an immutable mmap snapshot the training thread reads
+  /// off-lock (zero copies at snapshot time); [tail_begin,
+  /// snapshot_size) is the unsealed tail, copied under the lock exactly
+  /// like the pre-storage design copied the whole window. For a
+  /// memory-backed topic `sealed` is null and the tail IS the window.
   struct TrainingRun {
-    std::vector<std::string> batch;  // training-window texts (copies)
-    uint64_t window_begin = 0;       // sequence number of batch.front()
-    uint64_t snapshot_size = 0;      // topic size at snapshot; 0 = no work
-    TemplateModel base;              // Clone() of the live model
+    uint64_t window_begin = 0;
+    uint64_t tail_begin = 0;
+    uint64_t snapshot_size = 0;  // topic size at snapshot; 0 = no work
+    std::shared_ptr<const SealedRecordView> sealed;
+    std::vector<std::string> tail;  // copies of [tail_begin, snapshot_size)
+    TemplateModel base;             // Clone() of the live model
+    uint64_t window_size() const { return snapshot_size - window_begin; }
   };
 
+  /// Construction-time recovery from a persistent backend: rebuild
+  /// volume stats, restore + publish the checkpointed model, re-match
+  /// records carrying ids the restored model does not know. Runs before
+  /// the topic is visible to any other thread (no lock needed).
+  void RecoverFromStorage();
   /// Trigger check; requires the exclusive lock. Routes to the sync or
   /// async path; while a training is in flight, due triggers only count
   /// `coalesced_triggers` (the commit re-checks and schedules one
@@ -354,6 +428,11 @@ class ManagedTopic {
   /// online path bumps per adoption, a fold bumps once per fold).
   /// Requires the exclusive lock.
   void PublishAdoptedLocked(TemplateId id);
+  /// Writes the model blob a training commit staged (if any) into the
+  /// storage manifest. The fsyncs run OUTSIDE `mu_` — the exclusive
+  /// commit section stays O(1) — so call this with NO topic lock held;
+  /// a cheap atomic makes the no-work case free on the ingest path.
+  void MaybeFlushStorageCheckpoint();
 
   std::string name_;
   TopicConfig config_;
@@ -379,6 +458,16 @@ class ManagedTopic {
   /// stale before (or during) the exclusive section, and invalidates
   /// online assignments made against a model an async commit replaced.
   uint64_t model_generation_ = 0;
+  /// A training commit on a persistent topic stages the serialized
+  /// model here (under the exclusive lock, O(model) copy) instead of
+  /// fsyncing the manifest inline; MaybeFlushStorageCheckpoint drains
+  /// it off-lock. The flag is the ingest path's cheap "anything to
+  /// do?" probe; checkpoint_mu_ serializes flushers so staged blobs
+  /// reach the manifest in commit order. Lock order: checkpoint_mu_
+  /// before mu_, never the reverse.
+  std::string pending_model_checkpoint_;
+  std::atomic<bool> checkpoint_pending_{false};
+  std::mutex checkpoint_mu_;
   /// Single-thread pool for background training, created on first use;
   /// one thread because cycles are serialized by design (coalescing).
   /// Destroyed first in ~ManagedTopic, which drains the queue while all

@@ -81,4 +81,18 @@ inline uint64_t CombineTokenHashFast(uint64_t h, std::string_view token) {
   return (h ^ HashBytesFast(token)) * 0x100000001b3ULL;
 }
 
+/// Per-record frame checksum for the segmented on-disk topic format
+/// (logstore/disk_backend.cc). Covers the timestamp and the text — the
+/// length is bound through HashBytesFast's size-seeded state — but NOT
+/// the template id, which retraining rewrites in place after the frame
+/// is on disk. Deterministic across runs, like everything here.
+inline uint64_t RecordChecksum(uint64_t timestamp_us, std::string_view text) {
+  return HashCombine(Mix64(timestamp_us), HashBytesFast(text));
+}
+
+/// Seed for the fold of a segment's frame checksums (the per-segment
+/// checksum stored in the manifest): fold = HashCombine(fold, frame_crc)
+/// over frames in order, starting here.
+inline constexpr uint64_t kSegmentChecksumSeed = 0x53454743'4b53554dULL;
+
 }  // namespace bytebrain

@@ -47,8 +47,14 @@ class ByteReader {
     pos_ += len;
     return true;
   }
+  bool Skip(size_t n) {
+    if (pos_ + n > size_) return false;
+    pos_ += n;
+    return true;
+  }
   bool AtEnd() const { return pos_ == size_; }
   size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
 
  private:
   bool GetRaw(void* p, size_t n) {

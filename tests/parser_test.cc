@@ -38,7 +38,8 @@ ByteBrainOptions DefaultOptions() {
 
 TEST(TrainerTest, EmptyInputYieldsEmptyModel) {
   Trainer trainer(TrainerOptions{});
-  auto out = trainer.Train({}, VariableReplacer::Default());
+  auto out =
+      trainer.Train(std::vector<std::string>{}, VariableReplacer::Default());
   ASSERT_TRUE(out.ok());
   EXPECT_TRUE(out->model.empty());
   EXPECT_TRUE(out->assignments.empty());

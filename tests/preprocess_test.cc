@@ -134,7 +134,8 @@ TEST(PreprocessTest, OrdinalIdsAreDense) {
 
 TEST(PreprocessTest, EmptyInput) {
   PreprocessOptions opts;
-  auto result = Preprocess({}, VariableReplacer::None(), opts);
+  auto result =
+      Preprocess(std::vector<std::string>{}, VariableReplacer::None(), opts);
   EXPECT_EQ(result.total_logs, 0u);
   EXPECT_TRUE(result.logs.empty());
 }

@@ -473,6 +473,92 @@ TEST(ShardedIngestTest, ShardingComposesWithAsyncRetrain) {
   }
 }
 
+// Cross-batch shape memo: a shape resolved once by a shard (matched
+// against the shared model or folded into it) is served from the
+// shard's hash → id memo on later batches, skipping the shared-matcher
+// prematch entirely — while the end state stays identical to the
+// unsharded path.
+TEST(ShardedIngestTest, ShardMemoSkipsPrematchAcrossBatches) {
+  ManagedTopic unsharded("plain", ShardConfig(1));
+  ManagedTopic sharded("sharded", ShardConfig(4));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(unsharded.Ingest(SshLog(i)).ok());
+    ASSERT_TRUE(sharded.Ingest(SshLog(i)).ok());
+  }
+  ASSERT_TRUE(sharded.trained());
+
+  constexpr int kShapes = 12;
+  auto make_batch = [] {
+    std::vector<std::string> batch;
+    for (int dup = 0; dup < 8; ++dup) {
+      for (int shape = 0; shape < kShapes; ++shape) {
+        batch.push_back(NovelLog(shape, dup));
+      }
+    }
+    // Repeat trained shapes too: their memo entries come from the
+    // matched-shared path rather than a fold.
+    for (int i = 0; i < 16; ++i) batch.push_back(SshLog(i));
+    return batch;
+  };
+
+  // Batch 1: novel shapes adopt + fold (fold memoizes the new ids
+  // under the post-fold generation); trained shapes memoize on match.
+  ASSERT_TRUE(unsharded.IngestBatch(make_batch()).ok());
+  ASSERT_TRUE(sharded.IngestBatch(make_batch()).ok());
+  auto memo_hits = [](const ManagedTopic& topic) {
+    uint64_t hits = 0;
+    for (const ShardStats& s : topic.stats().shards) hits += s.memo_hits;
+    return hits;
+  };
+  const uint64_t hits_after_first = memo_hits(sharded);
+
+  // Batches 2 and 3 re-route the same shapes to the same shards (the
+  // content hash is stable): every distinct shape is a memo hit — the
+  // generation has not moved since the fold — and nothing re-adopts.
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(unsharded.IngestBatch(make_batch()).ok());
+    ASSERT_TRUE(sharded.IngestBatch(make_batch()).ok());
+  }
+  const TopicStats stats = sharded.stats();
+  uint64_t adopted = 0;
+  for (const ShardStats& s : stats.shards) adopted += s.adopted;
+  EXPECT_EQ(adopted, static_cast<uint64_t>(kShapes));
+  // Each repeat batch resolves kShapes novel + trained shapes from the
+  // memo: two full repeat rounds = at least 2 * kShapes hits.
+  EXPECT_GE(memo_hits(sharded) - hits_after_first,
+            static_cast<uint64_t>(2 * kShapes));
+
+  // End state identical to the unsharded path, memo or no memo.
+  EXPECT_EQ(TemplateTexts(unsharded), TemplateTexts(sharded));
+  const auto plain = RecordAssignments(unsharded);
+  const auto shard = RecordAssignments(sharded);
+  ASSERT_EQ(plain.size(), shard.size());
+  EXPECT_EQ(GroupingAccuracy(plain, shard), 1.0);
+  // All copies of a shape across all three batches share ONE id.
+  std::map<std::string, std::set<TemplateId>> ids_by_text;
+  ASSERT_TRUE(sharded.topic()
+                  .Scan(200, sharded.topic().size(),
+                        [&](uint64_t, const LogRecord& rec) {
+                          ids_by_text[rec.text].insert(rec.template_id);
+                        })
+                  .ok());
+  for (const auto& [text, ids] : ids_by_text) {
+    EXPECT_EQ(ids.size(), 1u) << text;
+  }
+
+  // A training commit invalidates the memo (ids + generation are
+  // superseded): the next batch must re-resolve, not serve stale ids.
+  ASSERT_TRUE(sharded.TrainNow().ok());
+  const uint64_t hits_before_post = memo_hits(sharded);
+  ASSERT_TRUE(sharded.IngestBatch(make_batch()).ok());
+  EXPECT_EQ(memo_hits(sharded), hits_before_post);  // all misses, re-memoized
+  ASSERT_TRUE(sharded.IngestBatch(make_batch()).ok());
+  EXPECT_GT(memo_hits(sharded), hits_before_post);  // memo warm again
+  for (uint64_t id : RecordAssignments(sharded)) {
+    EXPECT_NE(id, kInvalidTemplateId);
+  }
+}
+
 // Two sharded batches racing: both take the shared phase concurrently,
 // their exclusive sections serialize, and the second to fold must reuse
 // (not duplicate) the first's published temporaries. Deterministic
