@@ -37,7 +37,7 @@ int main() {
   for (int i = 0; i < 600; ++i) {
     if (!topic.Ingest(NormalTraffic(i)).ok()) return 1;
   }
-  const uint64_t incident_start = topic.topic().size();
+  const uint64_t incident_start = topic.size();
 
   // Window 2: an incident — 500s burst plus a brand-new timeout pattern.
   for (int i = 0; i < 600; ++i) {
@@ -54,7 +54,7 @@ int main() {
   if (!topic.TrainNow().ok()) return 1;
 
   auto anomalies = topic.DetectAnomalies(
-      0, incident_start, incident_start, topic.topic().size(),
+      0, incident_start, incident_start, topic.size(),
       /*min_change_ratio=*/2.0);
   if (!anomalies.ok()) {
     std::fprintf(stderr, "detection failed: %s\n",

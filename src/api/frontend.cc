@@ -1,0 +1,571 @@
+#include "api/frontend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iterator>
+#include <utility>
+
+#include "util/serde.h"
+
+namespace bytebrain {
+namespace api {
+
+namespace {
+
+constexpr size_t kMaxNameBytes = 200;
+
+/// Shared rules for tenant and topic names. '/' is the namespace
+/// separator in the underlying catalog, so neither half may contain it
+/// — that is what makes `tenant/name` collision-free by construction.
+/// "." and ".." are rejected because names become path COMPONENTS under
+/// FrontendConfig::storage_root; with '/' already banned they are the
+/// only traversal primitives, and a topic named ".." would resolve its
+/// segment directory (which DeleteTopic purge remove_all()s) outside
+/// its tenant's subtree.
+Status ValidateNamePart(const char* kind, std::string_view s) {
+  if (s.empty()) {
+    return Status::InvalidArgument(std::string(kind) + " must be non-empty");
+  }
+  if (s == "." || s == "..") {
+    return Status::InvalidArgument(std::string(kind) +
+                                   " must not be '.' or '..'");
+  }
+  if (s.size() > kMaxNameBytes) {
+    return Status::InvalidArgument(std::string(kind) + " exceeds " +
+                                   std::to_string(kMaxNameBytes) + " bytes");
+  }
+  if (s.find('/') != std::string_view::npos) {
+    return Status::InvalidArgument(std::string(kind) +
+                                   " must not contain '/'");
+  }
+  if (s.find('\0') != std::string_view::npos) {
+    return Status::InvalidArgument(std::string(kind) +
+                                   " must not contain NUL bytes");
+  }
+  return Status::OK();
+}
+
+std::string FullTopicName(std::string_view tenant, std::string_view name) {
+  std::string full;
+  full.reserve(tenant.size() + 1 + name.size());
+  full.append(tenant);
+  full.push_back('/');
+  full.append(name);
+  return full;
+}
+
+/// The opaque Query continuation token: the resolved window, threshold,
+/// and group offset of the NEXT page. Snapshotting the window end in
+/// the cursor is what makes page N+1 read the same record range page 1
+/// did, even while ingest keeps appending.
+struct QueryCursor {
+  uint64_t begin_seq = 0;
+  uint64_t end_seq = 0;
+  uint64_t offset = 0;
+  double saturation = 0.0;
+  bool include_sequence_numbers = true;
+
+  void EncodeTo(std::string* out) const {
+    FieldWriter w(out);
+    w.PutU64(1, begin_seq);
+    w.PutU64(2, end_seq);
+    w.PutU64(3, offset);
+    w.PutDouble(4, saturation);
+    w.PutBool(5, include_sequence_numbers);
+  }
+
+  Status DecodeFrom(std::string_view bytes) {
+    FieldReader fields(bytes);
+    uint32_t tag = 0;
+    std::string_view p;
+    bool ok = true;
+    while (fields.Next(&tag, &p)) {
+      switch (tag) {
+        case 1:
+          ok = ok && FieldReader::U64(p, &begin_seq);
+          break;
+        case 2:
+          ok = ok && FieldReader::U64(p, &end_seq);
+          break;
+        case 3:
+          ok = ok && FieldReader::U64(p, &offset);
+          break;
+        case 4:
+          ok = ok && FieldReader::Double(p, &saturation);
+          break;
+        case 5:
+          ok = ok && FieldReader::Bool(p, &include_sequence_numbers);
+          break;
+        default:
+          break;
+      }
+    }
+    if (!ok || fields.error()) {
+      return Status::InvalidArgument("malformed query cursor");
+    }
+    return Status::OK();
+  }
+};
+
+/// Dispatch glue: decode the method's request, run it, encode one
+/// response envelope (payload encoded in place — see EncodeResponse).
+/// `call(req, resp, retry_after_us)` is the bound typed method.
+template <typename Req, typename Resp, typename Call>
+std::string RunDispatch(std::string_view payload, Call&& call) {
+  Req req;
+  Resp resp;
+  uint64_t retry = 0;
+  Status s = req.DecodeFrom(payload);
+  if (s.ok()) s = call(std::move(req), &resp, &retry);
+  return EncodeResponse(s, retry, &resp);
+}
+
+std::string EncodeErrorResponse(Status status) {
+  return EncodeResponse<ListTopicsResponse>(status, 0, nullptr);
+}
+
+}  // namespace
+
+ServiceFrontend::ServiceFrontend(FrontendConfig config)
+    : config_(std::move(config)) {}
+
+uint64_t ServiceFrontend::NowUs() const {
+  if (config_.clock_us) return config_.clock_us();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ServiceFrontend::TenantState* ServiceFrontend::Tenant(
+    std::string_view tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(std::string(tenant), std::make_unique<TenantState>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Status ServiceFrontend::AdmitIngest(TenantState* tenant, uint64_t records,
+                                    uint64_t bytes,
+                                    uint64_t* retry_after_us) {
+  const uint64_t byte_rate = config_.max_ingest_bytes_per_sec;
+  const uint64_t record_rate = config_.max_ingest_records_per_sec;
+  if (byte_rate == 0 && record_rate == 0) return Status::OK();
+
+  const uint64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(tenant->mu);
+  const double burst = std::max(config_.burst_seconds, 1e-6);
+  const double byte_cap = static_cast<double>(byte_rate) * burst;
+  const double record_cap = static_cast<double>(record_rate) * burst;
+  if (!tenant->buckets_primed) {
+    tenant->byte_tokens = byte_cap;
+    tenant->record_tokens = record_cap;
+    tenant->last_refill_us = now;
+    tenant->buckets_primed = true;
+  }
+  // Continuous refill up to capacity. A non-monotonic clock (only
+  // possible with an injected one) refills nothing rather than
+  // charging backwards.
+  const double dt = now > tenant->last_refill_us
+                        ? static_cast<double>(now - tenant->last_refill_us) *
+                              1e-6
+                        : 0.0;
+  tenant->last_refill_us = std::max(now, tenant->last_refill_us);
+  tenant->byte_tokens = std::min(
+      byte_cap, tenant->byte_tokens + dt * static_cast<double>(byte_rate));
+  tenant->record_tokens =
+      std::min(record_cap,
+               tenant->record_tokens + dt * static_cast<double>(record_rate));
+
+  // A request larger than a bucket's whole capacity is admitted against
+  // a FULL bucket (and overdraws it) — otherwise it could never run.
+  double wait_seconds = 0.0;
+  if (byte_rate > 0) {
+    const double need = std::min(static_cast<double>(bytes), byte_cap);
+    if (tenant->byte_tokens < need) {
+      wait_seconds = std::max(wait_seconds, (need - tenant->byte_tokens) /
+                                                static_cast<double>(byte_rate));
+    }
+  }
+  if (record_rate > 0) {
+    const double need = std::min(static_cast<double>(records), record_cap);
+    if (tenant->record_tokens < need) {
+      wait_seconds =
+          std::max(wait_seconds, (need - tenant->record_tokens) /
+                                     static_cast<double>(record_rate));
+    }
+  }
+  if (wait_seconds > 0.0) {
+    // Denied: consume NOTHING (a starved client must not dig the hole
+    // deeper by retrying) and say when the buckets will cover it.
+    *retry_after_us = static_cast<uint64_t>(std::ceil(wait_seconds * 1e6));
+    return Status::ResourceExhausted(
+        "tenant ingest rate quota exceeded; retry after " +
+        std::to_string(*retry_after_us) + "us");
+  }
+  if (byte_rate > 0) tenant->byte_tokens -= static_cast<double>(bytes);
+  if (record_rate > 0) {
+    tenant->record_tokens -= static_cast<double>(records);
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<ManagedTopic>> ServiceFrontend::ResolveTopic(
+    std::string_view tenant, std::string_view name) {
+  BB_RETURN_IF_ERROR(ValidateNamePart("tenant", tenant));
+  BB_RETURN_IF_ERROR(ValidateNamePart("topic name", name));
+  auto topic = service_.GetTopic(FullTopicName(tenant, name));
+  if (!topic.ok()) {
+    // Absence and cross-tenant access are deliberately the same error:
+    // existence of another tenant's topic must not be probeable.
+    return Status::NotFound("topic '" + std::string(name) +
+                            "' does not exist");
+  }
+  return topic;
+}
+
+Status ServiceFrontend::CreateTopic(std::string_view tenant,
+                                    const CreateTopicRequest& req,
+                                    CreateTopicResponse* /*resp*/) {
+  BB_RETURN_IF_ERROR(ValidateNamePart("tenant", tenant));
+  BB_RETURN_IF_ERROR(ValidateNamePart("topic name", req.name));
+  // Re-creating an existing topic is AlreadyExists, not a quota denial
+  // — it would not add a topic. (Racing creates are still settled by
+  // the catalog's own AlreadyExists below.)
+  if (service_.GetTopic(FullTopicName(tenant, req.name)).ok()) {
+    return Status::AlreadyExists("topic '" + req.name + "' already exists");
+  }
+  TopicConfig config = req.config;
+  if (config.storage.kind == StorageConfig::Kind::kSegmentedDisk &&
+      !config_.storage_root.empty()) {
+    // The frontend owns disk placement: a wire-supplied directory could
+    // alias another tenant's segment files — and DeleteTopic's purge
+    // remove_all()s the directory, so aliasing would be destructive.
+    if (!config.storage.directory.empty()) {
+      return Status::InvalidArgument(
+          "storage.directory is assigned by the service; leave it empty");
+    }
+    config.storage.directory = config_.storage_root + "/" +
+                               std::string(tenant) + "/" + req.name;
+  }
+  TenantState* state = Tenant(tenant);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (config_.max_topics_per_tenant > 0 &&
+        state->topic_count >= config_.max_topics_per_tenant) {
+      return Status::ResourceExhausted(
+          "tenant topic quota (" +
+          std::to_string(config_.max_topics_per_tenant) + ") reached");
+    }
+    ++state->topic_count;
+  }
+  auto created =
+      service_.CreateTopic(FullTopicName(tenant, req.name), std::move(config));
+  if (!created.ok()) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    --state->topic_count;
+    return created.status();
+  }
+  return Status::OK();
+}
+
+Status ServiceFrontend::UpdateTopicConfig(std::string_view tenant,
+                                          const UpdateTopicConfigRequest& req,
+                                          UpdateTopicConfigResponse* /*resp*/) {
+  auto topic = ResolveTopic(tenant, req.name);
+  BB_RETURN_IF_ERROR(topic.status());
+  return topic.value()->UpdateConfig(req.patch);
+}
+
+Status ServiceFrontend::DeleteTopic(std::string_view tenant,
+                                    const DeleteTopicRequest& req,
+                                    DeleteTopicResponse* /*resp*/) {
+  BB_RETURN_IF_ERROR(ValidateNamePart("tenant", tenant));
+  BB_RETURN_IF_ERROR(ValidateNamePart("topic name", req.name));
+  const Status deleted = service_.DeleteTopic(FullTopicName(tenant, req.name),
+                                              req.purge_storage);
+  if (deleted.IsNotFound()) {
+    return Status::NotFound("topic '" + req.name + "' does not exist");
+  }
+  BB_RETURN_IF_ERROR(deleted);
+  TenantState* state = Tenant(tenant);
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->topic_count > 0) --state->topic_count;
+  return Status::OK();
+}
+
+Status ServiceFrontend::ListTopics(std::string_view tenant,
+                                   const ListTopicsRequest& /*req*/,
+                                   ListTopicsResponse* resp) {
+  BB_RETURN_IF_ERROR(ValidateNamePart("tenant", tenant));
+  resp->names.clear();
+  const std::string prefix = std::string(tenant) + "/";
+  // TopicNames is sorted (map order), so the filtered view is too.
+  for (const std::string& full : service_.TopicNames()) {
+    if (full.size() > prefix.size() &&
+        full.compare(0, prefix.size(), prefix) == 0) {
+      resp->names.push_back(full.substr(prefix.size()));
+    }
+  }
+  return Status::OK();
+}
+
+Status ServiceFrontend::Ingest(std::string_view tenant, IngestRequest req,
+                               IngestResponse* resp,
+                               uint64_t* retry_after_us) {
+  auto topic = ResolveTopic(tenant, req.topic);
+  BB_RETURN_IF_ERROR(topic.status());
+  uint64_t retry = 0;
+  const Status admitted =
+      AdmitIngest(Tenant(tenant), 1, req.text.size(), &retry);
+  if (!admitted.ok()) {
+    if (retry_after_us != nullptr) *retry_after_us = retry;
+    return admitted;
+  }
+  auto seq = topic.value()->Ingest(std::move(req.text), req.timestamp_us);
+  BB_RETURN_IF_ERROR(seq.status());
+  resp->seq = seq.value();
+  return Status::OK();
+}
+
+Status ServiceFrontend::IngestBatchGuarded(
+    std::string_view tenant, uint64_t records, uint64_t bytes,
+    const std::function<Result<std::vector<uint64_t>>()>& run,
+    IngestBatchResponse* resp, uint64_t* retry_after_us) {
+  TenantState* state = Tenant(tenant);
+
+  // In-flight cap first: it bounds concurrently EXECUTING batches (the
+  // memory/thread pressure), independent of the rate the buckets meter.
+  if (config_.max_inflight_batches > 0) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->inflight_batches >= config_.max_inflight_batches) {
+      if (retry_after_us != nullptr) *retry_after_us = 1000;
+      return Status::ResourceExhausted(
+          "tenant in-flight batch cap (" +
+          std::to_string(config_.max_inflight_batches) + ") reached");
+    }
+    ++state->inflight_batches;
+  }
+  struct InflightGuard {
+    TenantState* state;
+    bool active;
+    ~InflightGuard() {
+      if (!active) return;
+      std::lock_guard<std::mutex> lock(state->mu);
+      --state->inflight_batches;
+    }
+  } guard{state, config_.max_inflight_batches > 0};
+  if (config_.on_ingest_batch_start) config_.on_ingest_batch_start(tenant);
+
+  uint64_t retry = 0;
+  const Status admitted = AdmitIngest(state, records, bytes, &retry);
+  if (!admitted.ok()) {
+    if (retry_after_us != nullptr) *retry_after_us = retry;
+    return admitted;
+  }
+  auto seqs = run();
+  BB_RETURN_IF_ERROR(seqs.status());
+  resp->seqs = std::move(seqs).value();
+  return Status::OK();
+}
+
+Status ServiceFrontend::IngestBatch(std::string_view tenant,
+                                    IngestBatchRequest req,
+                                    IngestBatchResponse* resp,
+                                    uint64_t* retry_after_us) {
+  auto topic = ResolveTopic(tenant, req.topic);
+  BB_RETURN_IF_ERROR(topic.status());
+  uint64_t bytes = 0;
+  for (const std::string& text : req.texts) bytes += text.size();
+  return IngestBatchGuarded(
+      tenant, req.texts.size(), bytes,
+      [&topic, &req] {
+        return topic.value()->IngestBatch(std::move(req.texts),
+                                          req.timestamps_us);
+      },
+      resp, retry_after_us);
+}
+
+Status ServiceFrontend::IngestBatchViews(std::string_view tenant,
+                                         const IngestBatchRequestView& req,
+                                         IngestBatchResponse* resp,
+                                         uint64_t* retry_after_us) {
+  auto topic = ResolveTopic(tenant, req.topic);
+  BB_RETURN_IF_ERROR(topic.status());
+  uint64_t bytes = 0;
+  for (std::string_view text : req.texts) bytes += text.size();
+  return IngestBatchGuarded(
+      tenant, req.texts.size(), bytes,
+      [&topic, &req] {
+        // The view overload: record bytes are materialized once, at
+        // append — the decoded request buffer backs the texts until
+        // then.
+        return topic.value()->IngestBatch(req.texts, req.timestamps_us);
+      },
+      resp, retry_after_us);
+}
+
+Status ServiceFrontend::Query(std::string_view tenant, const QueryRequest& req,
+                              QueryResponse* resp) {
+  auto topic = ResolveTopic(tenant, req.topic);
+  BB_RETURN_IF_ERROR(topic.status());
+
+  QueryCursor cursor;
+  if (!req.cursor.empty()) {
+    BB_RETURN_IF_ERROR(cursor.DecodeFrom(req.cursor));
+  } else {
+    cursor.begin_seq = req.begin_seq;
+    // Resolve the open end NOW: later pages read the same window even
+    // if ingest has moved on.
+    cursor.end_seq = std::min(req.end_seq, topic.value()->size());
+    cursor.offset = 0;
+    cursor.saturation = req.saturation_threshold;
+    cursor.include_sequence_numbers = req.include_sequence_numbers;
+  }
+
+  auto groups =
+      topic.value()->Query(cursor.saturation, cursor.begin_seq,
+                           cursor.end_seq, cursor.include_sequence_numbers);
+  BB_RETURN_IF_ERROR(groups.status());
+  std::vector<TemplateGroup>& all = groups.value();
+  const size_t total = all.size();
+  const size_t first = std::min<size_t>(cursor.offset, total);
+  const size_t take = req.max_groups == 0
+                          ? total - first
+                          : std::min<size_t>(req.max_groups, total - first);
+  resp->groups.assign(std::make_move_iterator(all.begin() + first),
+                      std::make_move_iterator(all.begin() + first + take));
+  resp->next_cursor.clear();
+  if (first + take < total) {
+    QueryCursor next = cursor;
+    next.offset = first + take;
+    next.EncodeTo(&resp->next_cursor);
+  }
+  return Status::OK();
+}
+
+Status ServiceFrontend::GetStats(std::string_view tenant,
+                                 const GetStatsRequest& req,
+                                 GetStatsResponse* resp) {
+  auto topic = ResolveTopic(tenant, req.topic);
+  BB_RETURN_IF_ERROR(topic.status());
+  resp->stats = topic.value()->stats();
+  return Status::OK();
+}
+
+Status ServiceFrontend::TrainNow(std::string_view tenant,
+                                 const TrainNowRequest& req,
+                                 TrainNowResponse* /*resp*/) {
+  auto topic = ResolveTopic(tenant, req.topic);
+  BB_RETURN_IF_ERROR(topic.status());
+  return topic.value()->TrainNow();
+}
+
+Status ServiceFrontend::DetectAnomalies(std::string_view tenant,
+                                        const DetectAnomaliesRequest& req,
+                                        DetectAnomaliesResponse* resp) {
+  auto topic = ResolveTopic(tenant, req.topic);
+  BB_RETURN_IF_ERROR(topic.status());
+  auto anomalies = topic.value()->DetectAnomalies(
+      req.window1_begin, req.window1_end, req.window2_begin, req.window2_end,
+      req.min_change_ratio);
+  BB_RETURN_IF_ERROR(anomalies.status());
+  resp->anomalies = std::move(anomalies).value();
+  return Status::OK();
+}
+
+std::string ServiceFrontend::Dispatch(std::string_view request_bytes) {
+  // View-parse the envelope: tenant and payload stay in the caller's
+  // buffer (alive for the whole call), so a batch is never copied at
+  // the envelope layer.
+  RequestEnvelopeView env;
+  const Status decoded = env.DecodeFrom(request_bytes);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded);
+  const std::string_view tenant = env.tenant;
+  try {
+    switch (env.method) {
+      case ApiMethod::kCreateTopic:
+        return RunDispatch<CreateTopicRequest, CreateTopicResponse>(
+            env.payload, [&](CreateTopicRequest req, CreateTopicResponse* resp,
+                             uint64_t*) {
+              return CreateTopic(tenant, req, resp);
+            });
+      case ApiMethod::kUpdateTopicConfig:
+        return RunDispatch<UpdateTopicConfigRequest, UpdateTopicConfigResponse>(
+            env.payload, [&](UpdateTopicConfigRequest req,
+                             UpdateTopicConfigResponse* resp, uint64_t*) {
+              return UpdateTopicConfig(tenant, req, resp);
+            });
+      case ApiMethod::kDeleteTopic:
+        return RunDispatch<DeleteTopicRequest, DeleteTopicResponse>(
+            env.payload, [&](DeleteTopicRequest req, DeleteTopicResponse* resp,
+                             uint64_t*) {
+              return DeleteTopic(tenant, req, resp);
+            });
+      case ApiMethod::kListTopics:
+        return RunDispatch<ListTopicsRequest, ListTopicsResponse>(
+            env.payload, [&](ListTopicsRequest req, ListTopicsResponse* resp,
+                             uint64_t*) {
+              return ListTopics(tenant, req, resp);
+            });
+      case ApiMethod::kIngest:
+        return RunDispatch<IngestRequest, IngestResponse>(
+            env.payload,
+            [&](IngestRequest req, IngestResponse* resp, uint64_t* retry) {
+              return Ingest(tenant, std::move(req), resp, retry);
+            });
+      case ApiMethod::kIngestBatch:
+        // Zero-copy fast path: texts are decoded as views into
+        // request_bytes and handed to the view IngestBatch — record
+        // bytes are copied exactly once, at append.
+        return RunDispatch<IngestBatchRequestView, IngestBatchResponse>(
+            env.payload, [&](IngestBatchRequestView req,
+                             IngestBatchResponse* resp, uint64_t* retry) {
+              return IngestBatchViews(tenant, req, resp, retry);
+            });
+      case ApiMethod::kQuery:
+        return RunDispatch<QueryRequest, QueryResponse>(
+            env.payload,
+            [&](QueryRequest req, QueryResponse* resp, uint64_t*) {
+              return Query(tenant, req, resp);
+            });
+      case ApiMethod::kGetStats:
+        return RunDispatch<GetStatsRequest, GetStatsResponse>(
+            env.payload,
+            [&](GetStatsRequest req, GetStatsResponse* resp, uint64_t*) {
+              return GetStats(tenant, req, resp);
+            });
+      case ApiMethod::kTrainNow:
+        return RunDispatch<TrainNowRequest, TrainNowResponse>(
+            env.payload,
+            [&](TrainNowRequest req, TrainNowResponse* resp, uint64_t*) {
+              return TrainNow(tenant, req, resp);
+            });
+      case ApiMethod::kDetectAnomalies:
+        return RunDispatch<DetectAnomaliesRequest, DetectAnomaliesResponse>(
+            env.payload, [&](DetectAnomaliesRequest req,
+                             DetectAnomaliesResponse* resp, uint64_t*) {
+              return DetectAnomalies(tenant, req, resp);
+            });
+      case ApiMethod::kUnknown:
+        break;
+    }
+    return EncodeErrorResponse(Status::NotSupported(
+        "unknown api method " +
+        std::to_string(static_cast<uint32_t>(env.method))));
+  } catch (const std::exception& e) {
+    // The transport contract: bytes in, bytes out, never a crash or an
+    // escaped exception (e.g. allocation failure mid-operation).
+    return EncodeErrorResponse(
+        Status::Aborted(std::string("dispatch failed: ") + e.what()));
+  } catch (...) {
+    return EncodeErrorResponse(Status::Aborted("dispatch failed"));
+  }
+}
+
+}  // namespace api
+}  // namespace bytebrain

@@ -1,0 +1,170 @@
+// ServiceFrontend — the tenant-scoped service boundary over LogService.
+//
+// The frontend is what a transport (RPC server, HTTP handler, the
+// planned io_uring/TCP front) mounts: every operation is a typed
+// request/response pair (messages.h), plus a generic
+// Dispatch(bytes) -> bytes entry point that decodes a RequestEnvelope,
+// routes it, and encodes a ResponseEnvelope — so any byte-moving
+// transport can serve the full API without knowing a single method.
+//
+// What the boundary guarantees (paper §3 "as a cloud service", §6):
+//  * Tenant scoping. Every request names a tenant; topic `name` maps
+//    to `tenant/name` in the underlying catalog. A tenant can only
+//    ever see, mutate, or delete its own topics — cross-tenant access
+//    comes back NotFound, indistinguishable from absence.
+//  * No internal handles. Responses carry values only; a ManagedTopic*
+//    never crosses the boundary (operations re-resolve by name, and
+//    topic deletion is safe against in-flight calls via the catalog's
+//    shared ownership).
+//  * Admission control, not unbounded queueing. Per tenant: a topic
+//    quota, bytes/sec and records/sec token buckets over ingest, and a
+//    cap on concurrently executing batches. A denied request fails
+//    fast with ResourceExhausted and a retry_after_us hint instead of
+//    queueing work the box cannot absorb.
+//  * Bounded responses. Query is cursor-paginated (`max_groups` +
+//    opaque continuation cursor) and can omit per-record sequence
+//    numbers, so one response never has to carry an unbounded group
+//    list over the wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "api/messages.h"
+#include "service/log_service.h"
+
+namespace bytebrain {
+namespace api {
+
+/// Frontend-wide policy. Quotas apply PER TENANT (every tenant gets
+/// the same limits; 0 disables a limit).
+struct FrontendConfig {
+  /// Max topics a tenant may hold at once (CreateTopic beyond it is
+  /// ResourceExhausted; 0 = unlimited).
+  uint32_t max_topics_per_tenant = 64;
+  /// Ingest token buckets: sustained rate per tenant across all its
+  /// topics, refilled continuously, capacity = rate * burst_seconds.
+  /// A denied Ingest/IngestBatch consumes nothing and reports how long
+  /// until the bucket covers it (retry_after_us). 0 = unlimited.
+  uint64_t max_ingest_bytes_per_sec = 0;
+  uint64_t max_ingest_records_per_sec = 0;
+  double burst_seconds = 1.0;
+  /// Concurrently EXECUTING IngestBatch calls per tenant; one more is
+  /// refused (ResourceExhausted) rather than queued. 0 = unlimited.
+  uint32_t max_inflight_batches = 32;
+  /// Root directory for disk-backed topics. When set, the frontend
+  /// ASSIGNS every kSegmentedDisk topic's directory as
+  /// `<storage_root>/<tenant>/<topic>` and rejects requests that try
+  /// to supply their own (InvalidArgument) — a wire client must never
+  /// be able to point its topic at another tenant's bytes (DeleteTopic
+  /// purges the directory!). When empty (the default), the requested
+  /// directory passes through verbatim — only appropriate for trusted
+  /// single-operator embeddings, never for a multi-tenant deployment.
+  std::string storage_root;
+  /// Injectable time source for the token buckets (microseconds,
+  /// monotonic). Defaults to steady_clock; tests inject a fake clock
+  /// to make quota exhaustion/recovery deterministic.
+  std::function<uint64_t()> clock_us;
+  /// Test/ops instrumentation: invoked on the calling thread after an
+  /// IngestBatch passed admission (its in-flight slot is held) and
+  /// before the batch executes — the deterministic seam for exercising
+  /// the in-flight cap, mirroring TopicConfig::on_async_training_start.
+  std::function<void(std::string_view tenant)> on_ingest_batch_start;
+};
+
+/// The service API v1 implementation. Thread-safe: every method may be
+/// called concurrently from any thread.
+class ServiceFrontend {
+ public:
+  explicit ServiceFrontend(FrontendConfig config = {});
+
+  ServiceFrontend(const ServiceFrontend&) = delete;
+  ServiceFrontend& operator=(const ServiceFrontend&) = delete;
+
+  // Typed API. Each method is the in-process form of one wire method;
+  // Dispatch routes encoded envelopes to exactly these. Ingest methods
+  // take their request by value (record text moves through untouched)
+  // and report admission backoff through `retry_after_us` when
+  // non-null.
+  Status CreateTopic(std::string_view tenant, const CreateTopicRequest& req,
+                     CreateTopicResponse* resp);
+  Status UpdateTopicConfig(std::string_view tenant,
+                           const UpdateTopicConfigRequest& req,
+                           UpdateTopicConfigResponse* resp);
+  Status DeleteTopic(std::string_view tenant, const DeleteTopicRequest& req,
+                     DeleteTopicResponse* resp);
+  Status ListTopics(std::string_view tenant, const ListTopicsRequest& req,
+                    ListTopicsResponse* resp);
+  Status Ingest(std::string_view tenant, IngestRequest req,
+                IngestResponse* resp, uint64_t* retry_after_us = nullptr);
+  Status IngestBatch(std::string_view tenant, IngestBatchRequest req,
+                     IngestBatchResponse* resp,
+                     uint64_t* retry_after_us = nullptr);
+  Status Query(std::string_view tenant, const QueryRequest& req,
+               QueryResponse* resp);
+  Status GetStats(std::string_view tenant, const GetStatsRequest& req,
+                  GetStatsResponse* resp);
+  Status TrainNow(std::string_view tenant, const TrainNowRequest& req,
+                  TrainNowResponse* resp);
+  Status DetectAnomalies(std::string_view tenant,
+                         const DetectAnomaliesRequest& req,
+                         DetectAnomaliesResponse* resp);
+
+  /// Transport entry point: decodes one RequestEnvelope, dispatches,
+  /// and returns one encoded ResponseEnvelope. NEVER throws and never
+  /// crashes on malformed bytes — every failure (framing, unknown
+  /// method, unknown version, admission denial, operation error) comes
+  /// back as an encoded error response.
+  std::string Dispatch(std::string_view request_bytes);
+
+ private:
+  /// Per-tenant admission state. Token levels may go negative when an
+  /// oversized-but-admitted burst overdraws the bucket (a request
+  /// larger than the bucket capacity is admitted only against a FULL
+  /// bucket); the debt delays the next admission.
+  struct TenantState {
+    std::mutex mu;
+    double byte_tokens = 0;
+    double record_tokens = 0;
+    uint64_t last_refill_us = 0;
+    bool buckets_primed = false;
+    uint32_t inflight_batches = 0;
+    uint32_t topic_count = 0;
+  };
+
+  uint64_t NowUs() const;
+  TenantState* Tenant(std::string_view tenant);
+  /// Shared body of the two batch-ingest surfaces (typed owning call,
+  /// zero-copy wire dispatch): in-flight slot, token-bucket admission,
+  /// then `run` (which performs the actual topic call).
+  Status IngestBatchGuarded(
+      std::string_view tenant, uint64_t records, uint64_t bytes,
+      const std::function<Result<std::vector<uint64_t>>()>& run,
+      IngestBatchResponse* resp, uint64_t* retry_after_us);
+  /// The Dispatch(kIngestBatch) fast path: batch texts stay views into
+  /// the request buffer all the way to the append.
+  Status IngestBatchViews(std::string_view tenant,
+                          const IngestBatchRequestView& req,
+                          IngestBatchResponse* resp,
+                          uint64_t* retry_after_us);
+  /// Refills and charges the tenant's token buckets for one ingest of
+  /// `records`/`bytes`. On denial nothing is consumed and
+  /// *retry_after_us says when the buckets will cover the request.
+  Status AdmitIngest(TenantState* tenant, uint64_t records, uint64_t bytes,
+                     uint64_t* retry_after_us);
+  Result<std::shared_ptr<ManagedTopic>> ResolveTopic(std::string_view tenant,
+                                                     std::string_view name);
+
+  FrontendConfig config_;
+  LogService service_;
+  std::mutex tenants_mu_;
+  std::map<std::string, std::unique_ptr<TenantState>, std::less<>> tenants_;
+};
+
+}  // namespace api
+}  // namespace bytebrain

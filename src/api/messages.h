@@ -1,0 +1,383 @@
+// bytebrain::api v1 — versioned wire messages for the service API.
+//
+// This is the typed, serializable boundary the cloud service exposes
+// (paper §3, §6): every operation is a request/response pair that can
+// cross a process or network boundary as bytes, dispatched by
+// api::ServiceFrontend (frontend.h). No internal pointer — in
+// particular no ManagedTopic* — ever crosses this boundary.
+//
+// The versioning contract:
+//  * Every envelope starts with a fixed little-endian u32 API version
+//    (kApiVersion). Everything after it — and every message body — is a
+//    sequence of tagged fields (util/serde.h FieldWriter/FieldReader):
+//    (u32 tag, u32 byte-length, payload).
+//  * Decoders SKIP unknown tags, so a newer peer may add fields under
+//    fresh tags without breaking older decoders (forward
+//    compatibility). A tag, once shipped, is frozen: never reuse a
+//    retired tag for a different meaning.
+//  * Absent fields decode to the struct's default member value.
+//  * Decoding NEVER crashes: truncated, oversized, or corrupted bytes
+//    surface as a Status (Corruption for broken framing,
+//    InvalidArgument for well-framed but meaningless values).
+//  * Status codes cross the wire as the numeric values of
+//    Status::Code; those enum values are therefore part of the wire
+//    format and frozen.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/log_service.h"
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace bytebrain {
+namespace api {
+
+/// Wire version emitted by this build. Envelopes with a version of 0
+/// are rejected; higher versions decode under the skip-unknown-fields
+/// rule (a v2 peer may talk to a v1 server as long as it only relies
+/// on v1 semantics).
+inline constexpr uint32_t kApiVersion = 1;
+
+/// Method selector carried by every request envelope. Values are wire
+/// format — frozen.
+enum class ApiMethod : uint32_t {
+  kUnknown = 0,
+  kCreateTopic = 1,
+  kUpdateTopicConfig = 2,
+  kDeleteTopic = 3,
+  kListTopics = 4,
+  kIngest = 5,
+  kIngestBatch = 6,
+  kQuery = 7,
+  kGetStats = 8,
+  kTrainNow = 9,
+  kDetectAnomalies = 10,
+};
+
+// ---------------------------------------------------------------------
+// Envelopes
+// ---------------------------------------------------------------------
+
+/// The outer request frame: version, method, tenant namespace, and the
+/// method's encoded request message. The tenant is part of the
+/// envelope — not each body — because EVERY operation is
+/// tenant-scoped; the frontend maps topic `name` to `tenant/name`
+/// internally and never lets one tenant observe another's topics.
+struct RequestEnvelope {
+  uint32_t api_version = kApiVersion;
+  ApiMethod method = ApiMethod::kUnknown;
+  std::string tenant;
+  std::string payload;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+/// Borrowed-view decode of a request envelope: `tenant` and `payload`
+/// point INTO the decoded bytes, which must outlive the view. This is
+/// the Dispatch hot path's envelope parse — a batch payload is never
+/// copied out of the transport buffer.
+struct RequestEnvelopeView {
+  uint32_t api_version = kApiVersion;
+  ApiMethod method = ApiMethod::kUnknown;
+  std::string_view tenant;
+  std::string_view payload;
+
+  Status DecodeFrom(std::string_view bytes);
+};
+
+/// The outer response frame. `status` carries the operation outcome
+/// (code + message); `retry_after_us` is a backoff hint populated with
+/// ResourceExhausted denials from admission control; `payload` holds
+/// the method's encoded response message when status is OK.
+struct ResponseEnvelope {
+  uint32_t api_version = kApiVersion;
+  Status status;
+  uint64_t retry_after_us = 0;
+  std::string payload;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+// ---------------------------------------------------------------------
+// Config payloads
+// ---------------------------------------------------------------------
+
+/// Serializes the wire-safe subset of TopicConfig (training triggers,
+/// threading/sharding, storage selection, variable rules). In-process
+/// fields — parser_options, instrumentation hooks — do not cross the
+/// wire and decode to their defaults.
+void EncodeTopicConfig(const TopicConfig& config, std::string* out);
+Status DecodeTopicConfig(std::string_view bytes, TopicConfig* out);
+
+void EncodeTopicConfigPatch(const TopicConfigPatch& patch, std::string* out);
+Status DecodeTopicConfigPatch(std::string_view bytes, TopicConfigPatch* out);
+
+// ---------------------------------------------------------------------
+// Topic lifecycle
+// ---------------------------------------------------------------------
+
+struct CreateTopicRequest {
+  std::string name;
+  TopicConfig config;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct CreateTopicResponse {
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct UpdateTopicConfigRequest {
+  std::string name;
+  TopicConfigPatch patch;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct UpdateTopicConfigResponse {
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct DeleteTopicRequest {
+  std::string name;
+  /// Remove a persistent topic's segment directory too (default). With
+  /// false the bytes stay recoverable by a CreateTopic pointing at the
+  /// same directory.
+  bool purge_storage = true;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct DeleteTopicResponse {
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct ListTopicsRequest {
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct ListTopicsResponse {
+  /// Tenant-visible topic names (the tenant prefix already stripped),
+  /// lexicographically ordered.
+  std::vector<std::string> names;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+// ---------------------------------------------------------------------
+// Ingest
+// ---------------------------------------------------------------------
+
+struct IngestRequest {
+  std::string topic;
+  std::string text;
+  uint64_t timestamp_us = 0;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct IngestResponse {
+  uint64_t seq = 0;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct IngestBatchRequest {
+  std::string topic;
+  std::vector<std::string> texts;
+  /// Optional; when non-empty must have one entry per text.
+  std::vector<uint64_t> timestamps_us;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+/// Borrowed-view twin of IngestBatchRequest: `topic` and every text
+/// point INTO caller-owned bytes. Wire-compatible with the owning
+/// struct in both directions — a zero-copy CLIENT encodes straight
+/// from its log buffers (no intermediate std::strings), and the
+/// Dispatch server decodes texts as views into the request buffer and
+/// feeds ManagedTopic's string_view IngestBatch, so record bytes are
+/// materialized exactly once, at append.
+struct IngestBatchRequestView {
+  std::string_view topic;
+  std::vector<std::string_view> texts;
+  std::vector<uint64_t> timestamps_us;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct IngestBatchResponse {
+  /// Sequence numbers in input order.
+  std::vector<uint64_t> seqs;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+// ---------------------------------------------------------------------
+// Query / stats / training / anomalies
+// ---------------------------------------------------------------------
+
+struct QueryRequest {
+  std::string topic;
+  double saturation_threshold = 0.6;
+  uint64_t begin_seq = 0;
+  uint64_t end_seq = UINT64_MAX;
+  /// Page size: at most this many groups per response (0 = all).
+  /// Note the cost model: there is no server-side result cache, so
+  /// EVERY page re-scans the snapshot window and regroups before
+  /// slicing — small pages over a huge window multiply scan work.
+  /// Pick page sizes for transport framing, not tiny UX increments.
+  uint32_t max_groups = 0;
+  /// Opaque continuation token from the previous page's
+  /// QueryResponse::next_cursor. When set it overrides the window /
+  /// threshold fields above, so every page reads the same snapshot
+  /// window the first page resolved. The cursor pins the RECORD
+  /// window, not the model: if a (re)training commits between pages,
+  /// records inside the window may regroup, so group composition and
+  /// order can shift across the page boundary — pages are exactly
+  /// consistent whenever no training intervenes.
+  std::string cursor;
+  /// Groups carry their member sequence numbers (can dominate the
+  /// response size; turn off for count-only dashboards).
+  bool include_sequence_numbers = true;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct QueryResponse {
+  std::vector<TemplateGroup> groups;
+  /// Non-empty while more pages remain; feed back via
+  /// QueryRequest::cursor.
+  std::string next_cursor;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct GetStatsRequest {
+  std::string topic;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct GetStatsResponse {
+  TopicStats stats;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct TrainNowRequest {
+  std::string topic;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct TrainNowResponse {
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct DetectAnomaliesRequest {
+  std::string topic;
+  uint64_t window1_begin = 0;
+  uint64_t window1_end = 0;
+  uint64_t window2_begin = 0;
+  uint64_t window2_end = 0;
+  double min_change_ratio = 2.0;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct DetectAnomaliesResponse {
+  std::vector<TemplateAnomaly> anomalies;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+/// Reconstructs a Status from its wire code; out-of-range codes come
+/// back as Corruption (they indicate a framing bug or a newer peer).
+Status StatusFromWire(uint32_t code, std::string message);
+
+/// Client-side convenience: one encoded request envelope for `msg`,
+/// with the payload encoded in place (no intermediate payload string —
+/// the envelope's nested-field length is backpatched). Byte-identical
+/// to RequestEnvelope::EncodeTo over the same content.
+template <typename Request>
+std::string EncodeRequest(ApiMethod method, std::string_view tenant,
+                          const Request& msg) {
+  std::string out;
+  ByteWriter(&out).PutU32(kApiVersion);
+  FieldWriter w(&out);
+  w.PutU32(1, static_cast<uint32_t>(method));
+  w.PutBytes(2, tenant);
+  const size_t body = w.Begin(3);
+  msg.EncodeTo(&out);
+  w.End(body);
+  return out;
+}
+
+/// Server-side convenience: one encoded response envelope, payload
+/// encoded in place (emitted only on OK; pass nullptr for error-only
+/// responses). Decodes identically to ResponseEnvelope::EncodeTo
+/// output (an omitted payload field reads back as empty).
+template <typename Response>
+std::string EncodeResponse(const Status& status, uint64_t retry_after_us,
+                           const Response* msg) {
+  std::string out;
+  ByteWriter(&out).PutU32(kApiVersion);
+  FieldWriter w(&out);
+  w.PutU32(1, static_cast<uint32_t>(status.code()));
+  w.PutBytes(2, status.message());
+  w.PutU64(3, retry_after_us);
+  if (status.ok() && msg != nullptr) {
+    const size_t body = w.Begin(4);
+    msg->EncodeTo(&out);
+    w.End(body);
+  }
+  return out;
+}
+
+/// Client-side convenience: decodes a response envelope and, when the
+/// carried status is OK, the payload into `msg`. Returns the carried
+/// status (or a decode error).
+template <typename Response>
+Status DecodeResponse(std::string_view bytes, Response* msg,
+                      uint64_t* retry_after_us = nullptr) {
+  ResponseEnvelope env;
+  BB_RETURN_IF_ERROR(env.DecodeFrom(bytes));
+  if (retry_after_us != nullptr) *retry_after_us = env.retry_after_us;
+  BB_RETURN_IF_ERROR(env.status);
+  return msg->DecodeFrom(env.payload);
+}
+
+}  // namespace api
+}  // namespace bytebrain

@@ -88,6 +88,14 @@ std::vector<TemplateId> ByteBrainParser::MatchAll(
   return matcher_->MatchAll(logs, num_threads);
 }
 
+std::vector<TemplateId> ByteBrainParser::MatchAll(
+    const std::vector<std::string_view>& logs, int num_threads) const {
+  if (matcher_ == nullptr) {
+    return std::vector<TemplateId>(logs.size(), kInvalidTemplateId);
+  }
+  return matcher_->MatchAll(logs, num_threads);
+}
+
 TemplateId ByteBrainParser::MatchOrAdopt(std::string_view log,
                                          bool* adopted) {
   if (adopted != nullptr) *adopted = false;

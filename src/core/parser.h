@@ -97,8 +97,12 @@ class ByteBrainParser {
   /// Most precise matching template, or kInvalidTemplateId.
   TemplateId Match(std::string_view log) const;
 
-  /// Matches a batch across N queues (paper's online parallelism).
+  /// Matches a batch across N queues (paper's online parallelism). The
+  /// view overload serves callers whose logs live in borrowed buffers
+  /// (mmap'd training windows, wire-request payloads).
   std::vector<TemplateId> MatchAll(const std::vector<std::string>& logs,
+                                   int num_threads) const;
+  std::vector<TemplateId> MatchAll(const std::vector<std::string_view>& logs,
                                    int num_threads) const;
 
   /// Like Match, but a miss inserts the log itself as a temporary

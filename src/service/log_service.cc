@@ -1,15 +1,71 @@
 #include "service/log_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <filesystem>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 
 #include "core/tokenizer.h"
+#include "regex/regex.h"
 #include "util/hashing.h"
 #include "util/timer.h"
 
 namespace bytebrain {
+
+namespace {
+// The scalar-knob subset of ValidateTopicConfig — cheap enough to run
+// under the topic's exclusive lock. UpdateConfig uses exactly this
+// (a patch cannot change rules or storage), CreateTopic gets it via
+// ValidateTopicConfig: one rule set, two entry points.
+Status ValidateTopicKnobs(const TopicConfig& config) {
+  if (config.train_volume_bytes == 0) {
+    return Status::InvalidArgument("train_volume_bytes must be > 0");
+  }
+  if (config.train_interval_records == 0) {
+    return Status::InvalidArgument("train_interval_records must be > 0");
+  }
+  if (config.initial_train_records == 0) {
+    return Status::InvalidArgument("initial_train_records must be > 0");
+  }
+  if (config.max_train_records == 0) {
+    return Status::InvalidArgument("max_train_records must be > 0");
+  }
+  if (config.num_threads < 1 || config.num_threads > 256) {
+    return Status::InvalidArgument("num_threads must be in [1, 256]");
+  }
+  if (config.num_ingest_shards < 1 || config.num_ingest_shards > 64) {
+    return Status::InvalidArgument("num_ingest_shards must be in [1, 64]");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status ValidateTopicConfig(const TopicConfig& config) {
+  BB_RETURN_IF_ERROR(ValidateTopicKnobs(config));
+  if (config.storage.kind == StorageConfig::Kind::kSegmentedDisk &&
+      config.storage.directory.empty()) {
+    return Status::InvalidArgument(
+        "storage.directory is required for kSegmentedDisk storage");
+  }
+  if (config.storage.kind == StorageConfig::Kind::kSegmentedDisk &&
+      config.storage.segment_data_bytes == 0) {
+    return Status::InvalidArgument("storage.segment_data_bytes must be > 0");
+  }
+  for (const auto& [rule_name, pattern] : config.variable_rules) {
+    if (rule_name.empty()) {
+      return Status::InvalidArgument("variable_rules: rule name is empty");
+    }
+    auto compiled = Regex::Compile(pattern);
+    if (!compiled.ok()) {
+      return Status::InvalidArgument("variable_rules['" + rule_name +
+                                     "']: " + compiled.status().ToString());
+    }
+  }
+  return Status::OK();
+}
 
 ManagedTopic::ManagedTopic(std::string name, TopicConfig config)
     : name_(std::move(name)),
@@ -21,6 +77,7 @@ ManagedTopic::ManagedTopic(std::string name, TopicConfig config)
   for (int i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<IngestShard>());
   }
+  shard_count_.store(shards_.size(), std::memory_order_relaxed);
   for (const auto& [rule_name, pattern] : config_.variable_rules) {
     // Invalid tenant rules are skipped rather than poisoning the topic;
     // the compile error is surfaced through the parser's API when added
@@ -100,6 +157,16 @@ ManagedTopic::~ManagedTopic() {
   // runs here — not in member destruction — so every other member is
   // still alive while the last training commits.
   train_pool_.reset();
+  if (purge_storage_.load()) {
+    // DeleteTopic: the records are going away with the topic — remove
+    // the segment directory instead of checkpointing into it. Best
+    // effort; an undeletable directory must not throw from a destructor.
+    if (topic_.persistent_storage() && !config_.storage.directory.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(config_.storage.directory, ec);
+    }
+    return;
+  }
   // A drained final commit may have staged a model checkpoint; flush
   // it so a clean shutdown is recoverable to its last training.
   MaybeFlushStorageCheckpoint();
@@ -153,21 +220,48 @@ Result<uint64_t> ManagedTopic::IngestOneLocked(std::string text,
   return seq;
 }
 
+namespace {
+// Materializes one batch text into an owned record string: owned
+// strings MOVE (the pre-view behaviour, no extra copy), borrowed views
+// copy exactly once — the only materialization the view ingest path
+// pays.
+std::string TakeText(std::string& text) { return std::move(text); }
+std::string TakeText(std::string_view text) { return std::string(text); }
+}  // namespace
+
 Result<std::vector<uint64_t>> ManagedTopic::IngestBatch(
-    std::vector<std::string> texts, const std::vector<uint64_t>& timestamps_us) {
+    std::vector<std::string> texts,
+    const std::vector<uint64_t>& timestamps_us) {
   if (!timestamps_us.empty() && timestamps_us.size() != texts.size()) {
     return Status::InvalidArgument(
         "timestamps_us must be empty or match texts in size");
   }
   if (texts.empty()) return std::vector<uint64_t>();
-  if (shards_.size() > 1) {
+  // Path choice off the atomic mirror: shards_ itself may be resized
+  // by a concurrent UpdateConfig and is only readable under mu_.
+  if (shard_count_.load(std::memory_order_relaxed) > 1) {
     return IngestBatchSharded(std::move(texts), timestamps_us);
   }
   return IngestBatchUnsharded(std::move(texts), timestamps_us);
 }
 
+Result<std::vector<uint64_t>> ManagedTopic::IngestBatch(
+    const std::vector<std::string_view>& texts,
+    const std::vector<uint64_t>& timestamps_us) {
+  if (!timestamps_us.empty() && timestamps_us.size() != texts.size()) {
+    return Status::InvalidArgument(
+        "timestamps_us must be empty or match texts in size");
+  }
+  if (texts.empty()) return std::vector<uint64_t>();
+  if (shard_count_.load(std::memory_order_relaxed) > 1) {
+    return IngestBatchSharded(texts, timestamps_us);
+  }
+  return IngestBatchUnsharded(texts, timestamps_us);
+}
+
+template <typename TextVec>
 Result<std::vector<uint64_t>> ManagedTopic::IngestBatchUnsharded(
-    std::vector<std::string> texts, const std::vector<uint64_t>& timestamps_us) {
+    TextVec texts, const std::vector<uint64_t>& timestamps_us) {
   std::vector<uint64_t> seqs;
   seqs.reserve(texts.size());
 
@@ -197,7 +291,7 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchUnsharded(
         !prematched.empty() && generation == model_generation_;
     const TemplateId hint =
         prematch_valid ? prematched[i] : kInvalidTemplateId;
-    auto seq = IngestOneLocked(std::move(texts[i]),
+    auto seq = IngestOneLocked(TakeText(texts[i]),
                                timestamps_us.empty() ? 0 : timestamps_us[i],
                                hint);
     BB_RETURN_IF_ERROR(seq.status());
@@ -208,9 +302,15 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchUnsharded(
   return seqs;
 }
 
+template <typename TextVec>
 Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
-    std::vector<std::string> texts, const std::vector<uint64_t>& timestamps_us) {
-  const size_t num_shards = shards_.size();
+    TextVec texts, const std::vector<uint64_t>& timestamps_us) {
+  // Resolved under the shared lock below: a live reshard (UpdateConfig)
+  // holds the exclusive lock to swap shards_, so the size read here and
+  // every shards_[i] touched by this batch's shard phase are from ONE
+  // consistent shard set. The later exclusive section revalidates via
+  // the generation (a reshard bumps it) before touching shard state.
+  size_t num_shards = 0;
 
   // Batch-local dedup groups, one per distinct replaced token sequence.
   // Grouping is what the content-hash routing buys: duplicates colocate,
@@ -239,6 +339,7 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
       return IngestBatchUnsharded(std::move(texts), timestamps_us);
     }
     gen0 = model_generation_;
+    num_shards = shards_.size();
 
     // -- Dedup level 1: collapse byte-identical records on a raw-bytes
     // fast hash (an order of magnitude cheaper than any scan; exact
@@ -285,7 +386,7 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
           std::string scratch;
           std::vector<std::string_view> tokens;
           for (size_t i = begin; i < end; ++i) {
-            const std::string& text = texts[raw_groups[i].rep];
+            const auto& text = texts[raw_groups[i].rep];
             if (fused) {
               content[i] = HashReplacedTokens(text, &scratch);
               continue;
@@ -359,7 +460,7 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
                 ++shard.counters.memo_hits;
                 continue;
               }
-              const std::string& rep = texts[group.rep];
+              const auto& rep = texts[group.rep];
               group.resolved = parser_.Match(rep);
               if (group.resolved != kInvalidTemplateId) {
                 shard.memo[group.hash] = {group.resolved, gen0};
@@ -390,7 +491,7 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
                 shard.pending_matcher->Insert(
                     *shard.pending.node(group.local));
               }
-              shard.reps.push_back(rep);
+              shard.reps.emplace_back(rep);
               shard.gens.push_back(gen0);
               shard.hashes.push_back(group.hash);
               ++shard.counters.adopted;
@@ -414,7 +515,7 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
   FoldShardPendingsLocked();
   if (stale) {
     for (size_t i = 0; i < texts.size(); ++i) {
-      auto seq = IngestOneLocked(std::move(texts[i]),
+      auto seq = IngestOneLocked(TakeText(texts[i]),
                                  timestamps_us.empty() ? 0 : timestamps_us[i],
                                  kInvalidTemplateId);
       BB_RETURN_IF_ERROR(seq.status());
@@ -436,7 +537,7 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
     const Group& g = groups[record_group[i]];
     LogRecord record;
     record.timestamp_us = timestamps_us.empty() ? 0 : timestamps_us[i];
-    record.text = std::move(texts[i]);
+    record.text = TakeText(texts[i]);
     record.template_id = g.resolved != kInvalidTemplateId
                              ? g.resolved
                              : shards_[g.shard]->remap[g.local - 1];
@@ -624,6 +725,8 @@ Status ManagedTopic::SnapshotTrainingLocked(TrainingRun* run) {
   stats_.last_snapshot_copied_records = total - run->tail_begin;
   stats_.last_snapshot_mapped_records = run->tail_begin - run->window_begin;
   run->base = parser_.SnapshotModel();
+  run->num_threads = config_.num_threads;
+  run->start_hook = config_.on_async_training_start;
   run->snapshot_size = total;
   // The trigger counters measure "volume since the last training
   // SNAPSHOT" — records arriving while this snapshot trains count toward
@@ -639,8 +742,10 @@ Result<PreparedRetrain> ManagedTopic::PrepareTrainingGuarded(
     TrainingRun* run, std::vector<TemplateId>* assignments,
     bool invoke_hook) const {
   try {
-    if (invoke_hook && config_.on_async_training_start) {
-      config_.on_async_training_start();
+    // Read ONLY the run's snapshot (hook, thread count): this executes
+    // off-lock and config_ may be reassigned by UpdateConfig meanwhile.
+    if (invoke_hook && run->start_hook) {
+      run->start_hook();
     }
     // Materialize the window as VIEWS: the sealed part points straight
     // into the mmap'd segments (held alive by run->sealed), the tail
@@ -660,7 +765,7 @@ Result<PreparedRetrain> ManagedTopic::PrepareTrainingGuarded(
     auto built = parser_.PrepareRetrain(std::move(run->base), window);
     if (built.ok()) {
       *assignments =
-          built.value().matcher->MatchAll(window, config_.num_threads);
+          built.value().matcher->MatchAll(window, run->num_threads);
     }
     return built;
   } catch (const std::exception& e) {
@@ -867,8 +972,8 @@ void ManagedTopic::MaybeFlushStorageCheckpoint() {
 }
 
 Result<std::vector<TemplateGroup>> ManagedTopic::Query(
-    double saturation_threshold, uint64_t begin_seq,
-    uint64_t end_seq) const {
+    double saturation_threshold, uint64_t begin_seq, uint64_t end_seq,
+    bool collect_sequences) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::unordered_map<TemplateId, TemplateGroup> groups;
   const Status scan_status = topic_.Scan(
@@ -891,7 +996,7 @@ Result<std::vector<TemplateGroup>> ManagedTopic::Query(
           }
         }
         ++g.count;
-        g.sequence_numbers.push_back(seq);
+        if (collect_sequences) g.sequence_numbers.push_back(seq);
       });
   BB_RETURN_IF_ERROR(scan_status);
 
@@ -909,10 +1014,13 @@ Result<std::vector<TemplateGroup>> ManagedTopic::Query(
 Result<std::vector<TemplateAnomaly>> ManagedTopic::DetectAnomalies(
     uint64_t window1_begin, uint64_t window1_end, uint64_t window2_begin,
     uint64_t window2_end, double min_change_ratio) const {
-  // Use maximally precise templates for comparison.
-  auto before = Query(1.0, window1_begin, window1_end);
+  // Use maximally precise templates for comparison; counts only — the
+  // comparison never looks at individual sequence numbers.
+  auto before =
+      Query(1.0, window1_begin, window1_end, /*collect_sequences=*/false);
   BB_RETURN_IF_ERROR(before.status());
-  auto after = Query(1.0, window2_begin, window2_end);
+  auto after =
+      Query(1.0, window2_begin, window2_end, /*collect_sequences=*/false);
   BB_RETURN_IF_ERROR(after.status());
 
   std::unordered_map<TemplateId, uint64_t> before_counts;
@@ -972,8 +1080,113 @@ bool ManagedTopic::trained() const {
   return trained_;
 }
 
-Result<ManagedTopic*> LogService::CreateTopic(const std::string& name,
-                                              TopicConfig config) {
+uint64_t ManagedTopic::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return topic_.size();
+}
+
+Result<LogRecord> ManagedTopic::ReadRecord(uint64_t seq) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return topic_.Read(seq);
+}
+
+Status ManagedTopic::ScanRecords(
+    uint64_t begin_seq, uint64_t end_seq,
+    const std::function<void(uint64_t, const LogRecord&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return topic_.Scan(begin_seq, std::min(end_seq, topic_.size()), fn);
+}
+
+Status ManagedTopic::StorageStatus() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return topic_.storage_status();
+}
+
+Status ManagedTopic::PersistTo(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return topic_.PersistTo(path);
+}
+
+bool ManagedTopic::HasTemplate(TemplateId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return parser_.model().node(id) != nullptr;
+}
+
+std::vector<std::string> ManagedTopic::TemplateTexts() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> texts;
+  texts.reserve(parser_.model().size());
+  for (const TreeNode& node : parser_.model().nodes()) {
+    texts.push_back(parser_.TemplateText(node.id));
+  }
+  return texts;
+}
+
+TopicConfig ManagedTopic::config() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return config_;
+}
+
+namespace {
+// Applies the present fields of `patch` onto `config` (shared by the
+// validation dry run and the real apply — one rule set, no drift).
+void ApplyPatch(const TopicConfigPatch& patch, TopicConfig* config) {
+  if (patch.train_volume_bytes) {
+    config->train_volume_bytes = *patch.train_volume_bytes;
+  }
+  if (patch.train_interval_records) {
+    config->train_interval_records = *patch.train_interval_records;
+  }
+  if (patch.initial_train_records) {
+    config->initial_train_records = *patch.initial_train_records;
+  }
+  if (patch.max_train_records) {
+    config->max_train_records = *patch.max_train_records;
+  }
+  if (patch.num_threads) config->num_threads = *patch.num_threads;
+  if (patch.async_training) config->async_training = *patch.async_training;
+  if (patch.num_ingest_shards) {
+    config->num_ingest_shards = *patch.num_ingest_shards;
+  }
+}
+}  // namespace
+
+Status ManagedTopic::UpdateConfig(const TopicConfigPatch& patch) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Dry-run the patch against the live config and validate the RESULT
+  // with the same knob rules CreateTopic enforces — one rule set, and
+  // a rejected patch applies nothing. Knobs only: a patch cannot touch
+  // rules or storage, so no regex recompilation under the lock.
+  TopicConfig patched = config_;
+  ApplyPatch(patch, &patched);
+  BB_RETURN_IF_ERROR(ValidateTopicKnobs(patched));
+  const bool reshard =
+      patch.num_ingest_shards &&
+      static_cast<size_t>(*patch.num_ingest_shards) != shards_.size();
+  config_ = std::move(patched);
+  if (reshard) {
+    // Live reshard. Fold the current pendings first so every remap an
+    // in-flight batch may reference is complete, then rebuild the shard
+    // set and bump the generation: any batch that routed against the
+    // old shards detects the bump in its exclusive section and falls
+    // back to per-record matching — no pending id ever dangles.
+    FoldShardPendingsLocked();
+    shards_.clear();
+    for (int i = 0; i < *patch.num_ingest_shards; ++i) {
+      shards_.push_back(std::make_unique<IngestShard>());
+    }
+    shard_count_.store(shards_.size(), std::memory_order_relaxed);
+    ++model_generation_;
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<ManagedTopic>> LogService::CreateTopic(
+    const std::string& name, TopicConfig config) {
+  // A bad config fails HERE, named, instead of leaking to first use
+  // (an uncompilable rule silently skipped, a zero window hanging the
+  // first training trigger).
+  BB_RETURN_IF_ERROR(ValidateTopicConfig(config));
   // Construction can be expensive for a disk-backed topic (manifest
   // replay, checksum verification of every sealed byte, re-matching) —
   // run it OUTSIDE the catalog lock so other topics' lookups never
@@ -986,9 +1199,9 @@ Result<ManagedTopic*> LogService::CreateTopic(const std::string& name,
       return Status::AlreadyExists("topic '" + name + "' already exists");
     }
   }
-  std::unique_ptr<ManagedTopic> topic;
+  std::shared_ptr<ManagedTopic> topic;
   try {
-    topic = std::make_unique<ManagedTopic>(name, std::move(config));
+    topic = std::make_shared<ManagedTopic>(name, std::move(config));
   } catch (...) {
     // Construction threw (allocation, thread creation): release the
     // reservation or the name would be wedged — AlreadyExists on
@@ -1000,7 +1213,7 @@ Result<ManagedTopic*> LogService::CreateTopic(const std::string& name,
   // A topic whose storage failed to open runs on an empty in-memory
   // fallback; for the service API that is a failed creation — the
   // caller asked for durability it would not get.
-  const Status storage = topic->topic().storage_status();
+  const Status storage = topic->StorageStatus();
   std::lock_guard<std::mutex> lock(mu_);
   if (!storage.ok()) {
     topics_.erase(name);
@@ -1008,10 +1221,11 @@ Result<ManagedTopic*> LogService::CreateTopic(const std::string& name,
   }
   auto it = topics_.find(name);
   it->second = std::move(topic);
-  return it->second.get();
+  return it->second;
 }
 
-Result<ManagedTopic*> LogService::GetTopic(const std::string& name) const {
+Result<std::shared_ptr<ManagedTopic>> LogService::GetTopic(
+    const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = topics_.find(name);
   // A null entry is a reservation: the topic is still constructing
@@ -1019,7 +1233,56 @@ Result<ManagedTopic*> LogService::GetTopic(const std::string& name) const {
   if (it == topics_.end() || it->second == nullptr) {
     return Status::NotFound("topic '" + name + "' does not exist");
   }
-  return it->second.get();
+  return it->second;
+}
+
+Status LogService::DeleteTopic(const std::string& name, bool purge_storage) {
+  std::shared_ptr<ManagedTopic> topic;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = topics_.find(name);
+    if (it == topics_.end()) {
+      return Status::NotFound("topic '" + name + "' does not exist");
+    }
+    if (it->second == nullptr) {
+      // Creation (possibly a long disk recovery) is still running on
+      // another thread; deleting the reservation out from under it
+      // would wedge that CreateTopic. Callers retry.
+      return Status::Aborted("topic '" + name +
+                             "' is still being created; retry");
+    }
+    topic = std::move(it->second);
+    topics_.erase(it);
+  }
+  // Destruction happens OUTSIDE the catalog lock (it drains the topic's
+  // in-flight training). Wait for concurrent holders (in-flight
+  // operations that resolved the topic before it left the catalog) so
+  // the destructor runs HERE, on this thread, before we return: a
+  // late-firing destructor could otherwise remove_all() a storage
+  // directory that a subsequent CreateTopic at the same path has
+  // already reopened. In-flight operations finish and release, so the
+  // wait is short; it is BOUNDED anyway so a caller that retained its
+  // own shared_ptr (don't — release handles before deleting) hangs
+  // nothing: past the deadline, destruction and the purge defer to the
+  // final release, reverting to last-holder semantics.
+  if (purge_storage) topic->SetPurgeStorageOnDestroy(true);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (topic.use_count() > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (topic.use_count() > 1) {
+    // A holder outlived the drain window: destruction defers to its
+    // final release — and the PURGE is cancelled, because by then a
+    // CreateTopic may have reopened the same directory and a late
+    // remove_all() would destroy the successor's live data. The
+    // directory is left on disk (recoverable / manual cleanup) —
+    // strictly safer than a delayed destructive purge.
+    topic->SetPurgeStorageOnDestroy(false);
+  }
+  topic.reset();
+  return Status::OK();
 }
 
 std::vector<std::string> LogService::TopicNames() const {

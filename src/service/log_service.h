@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -94,6 +95,32 @@ struct TopicConfig {
   /// Tenant-defined variable-replacement rules (§4.1.2): name -> pattern,
   /// compiled on the linear-time engine at topic creation.
   std::vector<std::pair<std::string, std::string>> variable_rules;
+};
+
+/// Validates a TopicConfig up front — shard count in range, nonzero
+/// training windows/triggers, compilable variable rules, a directory for
+/// disk-backed storage — returning InvalidArgument naming the offending
+/// field. LogService::CreateTopic applies it so a bad config fails the
+/// creation instead of surfacing at first ingest/training.
+Status ValidateTopicConfig(const TopicConfig& config);
+
+/// A partial TopicConfig update: only the knobs that are safe to change
+/// on a LIVE topic. Absent fields keep their current value.
+/// Structural choices — storage backend/directory, parser options,
+/// variable rules — are fixed at creation; changing them means creating
+/// a new topic.
+struct TopicConfigPatch {
+  std::optional<uint64_t> train_volume_bytes;
+  std::optional<uint64_t> train_interval_records;
+  std::optional<uint64_t> initial_train_records;
+  std::optional<uint64_t> max_train_records;
+  std::optional<int> num_threads;
+  /// Applied as a live reshard: current shard pendings are folded into
+  /// the shared model under the exclusive lock before the shard set is
+  /// rebuilt (in-flight batches detect the generation bump and fall
+  /// back to per-record matching, so no pending id dangles).
+  std::optional<int> num_ingest_shards;
+  std::optional<bool> async_training;
 };
 
 /// One query-result row: a template and the records grouped under it.
@@ -207,7 +234,7 @@ class ManagedTopic {
   /// volume stats are rebuilt, and records whose template ids the
   /// restored model does not know (post-checkpoint adoptions lost in
   /// the crash) are re-matched. Storage failures never throw — check
-  /// topic().storage_status() (LogService::CreateTopic does).
+  /// StorageStatus() (LogService::CreateTopic does).
   ManagedTopic(std::string name, TopicConfig config);
 
   /// Drains any in-flight background training (it still commits, so no
@@ -248,6 +275,17 @@ class ManagedTopic {
       std::vector<std::string> texts,
       const std::vector<uint64_t>& timestamps_us = {});
 
+  /// View overload of IngestBatch: the texts are BORROWED for the call
+  /// (the caller keeps the backing buffer alive until it returns) and
+  /// each record's bytes are materialized exactly once, at append.
+  /// This is the zero-copy ingest path for callers that already hold
+  /// the batch in one buffer — api::ServiceFrontend::Dispatch feeds
+  /// decoded wire payloads straight through it. Identical semantics
+  /// and locking to the owning overload.
+  Result<std::vector<uint64_t>> IngestBatch(
+      const std::vector<std::string_view>& texts,
+      const std::vector<uint64_t>& timestamps_us = {});
+
   /// Forces a synchronous training cycle over the most recent records:
   /// waits for any in-flight background training to commit first, then
   /// trains under the exclusive lock and returns once the new model is
@@ -264,12 +302,15 @@ class ManagedTopic {
 
   /// Groups the records of [begin_seq, end_seq) by template, resolving
   /// template precision at `saturation_threshold` (§3 "Query"). Groups
-  /// arrive ordered by descending count.
+  /// arrive ordered by descending count. With `collect_sequences` off,
+  /// per-group sequence-number vectors stay empty — counts only, no
+  /// per-record allocation (the API's count-only query path).
   /// Locking: shared; concurrent with ingest match phases and background
   /// training, excluded only by exclusive sections. Never trains.
   Result<std::vector<TemplateGroup>> Query(double saturation_threshold,
                                            uint64_t begin_seq = 0,
-                                           uint64_t end_seq = UINT64_MAX) const;
+                                           uint64_t end_seq = UINT64_MAX,
+                                           bool collect_sequences = true) const;
 
   /// Compares template counts between two sequence windows and reports
   /// new templates and count changes >= `min_change_ratio`.
@@ -278,15 +319,84 @@ class ManagedTopic {
       uint64_t window1_begin, uint64_t window1_end, uint64_t window2_begin,
       uint64_t window2_end, double min_change_ratio = 2.0) const;
 
+  /// Applies a partial config update to the live topic (the knobs
+  /// TopicConfigPatch enumerates). The RESULTING config is validated
+  /// with ValidateTopicConfig — the same rule set CreateTopic enforces
+  /// — before anything is applied (InvalidArgument names the offending
+  /// field, nothing applied on failure). A num_ingest_shards change
+  /// folds the current shard pendings into the shared model and
+  /// rebuilds the shard set (per-shard counters restart at zero).
+  /// Locking: exclusive.
+  Status UpdateConfig(const TopicConfigPatch& patch);
+
+  /// Marks (or unmarks) the topic's persistent storage for deletion:
+  /// the destructor, after draining any in-flight training, removes
+  /// the storage directory instead of flushing a final checkpoint.
+  /// Called by LogService::DeleteTopic — which CANCELS the purge if it
+  /// cannot destroy the topic synchronously, so a late-firing
+  /// destructor never deletes a directory a successor topic may have
+  /// reopened.
+  void SetPurgeStorageOnDestroy(bool purge) { purge_storage_.store(purge); }
+
   const std::string& name() const { return name_; }
   /// Locking: shared; returns a consistent snapshot of the counters.
   TopicStats stats() const;
+
+  // --- Locked snapshot accessors -------------------------------------
+  // Safe under full concurrency (ingest, training commits, queries);
+  // each takes the topic lock shared and copies what it returns. These
+  // replace the deprecated raw substrate accessors below.
+
+  /// Number of records appended so far. Locking: shared.
+  uint64_t size() const;
+  /// Copy of the record at `seq` (NotFound past the end); the template
+  /// id reflects the current model generation. Locking: shared.
+  Result<LogRecord> ReadRecord(uint64_t seq) const;
+  /// Invokes fn(seq, record) for [begin_seq, end_seq) under the shared
+  /// lock; the callback must not re-enter the topic. Locking: shared.
+  Status ScanRecords(
+      uint64_t begin_seq, uint64_t end_seq,
+      const std::function<void(uint64_t, const LogRecord&)>& fn) const;
+  /// Storage health: OK, or why the backend could not open / the first
+  /// sticky append-IO error. Locking: shared.
+  Status StorageStatus() const;
+  /// Single-file snapshot of all records (LogTopic::PersistTo).
+  /// Locking: shared for the duration of the write.
+  Status PersistTo(const std::string& path) const;
+  /// True when the model currently knows `id` (a query for it resolves).
+  /// Locking: shared.
+  bool HasTemplate(TemplateId id) const;
+  /// Display texts of every template in the current model, in node
+  /// order. Locking: shared.
+  std::vector<std::string> TemplateTexts() const;
+  /// Snapshot of the internal (template-metadata) topic, insertion
+  /// order. Locking: the internal topic's own mutex only.
+  std::vector<TemplateMeta> TemplateCatalog() const { return internal_.All(); }
+  /// Copy of the live configuration (UpdateConfig may change it).
+  /// Locking: shared.
+  TopicConfig config() const;
+
   /// Unsynchronized accessors for the substrates; the returned references
   /// are only safe to read while no concurrent exclusive section (ingest
   /// / training commit) can run — i.e. in tests and single-threaded use.
-  const LogTopic& topic() const { return topic_; }
-  const InternalTopic& internal_topic() const { return internal_; }
-  const ByteBrainParser& parser() const { return parser_; }
+  /// Deprecated: use the locked snapshot accessors above instead.
+  [[deprecated(
+      "unsynchronized; use size()/ReadRecord()/ScanRecords()/"
+      "StorageStatus()/PersistTo() instead")]] const LogTopic&
+  topic() const {
+    return topic_;
+  }
+  [[deprecated("unsynchronized; use TemplateCatalog() instead")]] const
+      InternalTopic&
+      internal_topic() const {
+    return internal_;
+  }
+  [[deprecated(
+      "unsynchronized; use HasTemplate()/TemplateTexts()/stats() "
+      "instead")]] const ByteBrainParser&
+  parser() const {
+    return parser_;
+  }
   /// Locking: shared.
   bool trained() const;
 
@@ -353,6 +463,13 @@ class ManagedTopic {
     std::shared_ptr<const SealedRecordView> sealed;
     std::vector<std::string> tail;  // copies of [tail_begin, snapshot_size)
     TemplateModel base;             // Clone() of the live model
+    /// Config knobs the background thread consumes, captured at
+    /// snapshot time: the thread runs with NO topic lock held, and
+    /// UpdateConfig may reassign `config_` (under the exclusive lock)
+    /// while a run is in flight — a training uses the configuration as
+    /// of its snapshot, never the live struct.
+    int num_threads = 2;
+    std::function<void()> start_hook;
     uint64_t window_size() const { return snapshot_size - window_begin; }
   };
 
@@ -405,15 +522,19 @@ class ManagedTopic {
   /// The num_ingest_shards == 1 batch path (prematch under the shared
   /// lock, one exclusive per-record adopt/append section) — also the
   /// fallback the sharded path takes before the first training.
+  /// Templated over the text container (owned std::strings are moved
+  /// into records, borrowed std::string_views are materialized once);
+  /// both instantiations live in log_service.cc.
+  template <typename TextVec>
   Result<std::vector<uint64_t>> IngestBatchUnsharded(
-      std::vector<std::string> texts,
-      const std::vector<uint64_t>& timestamps_us);
+      TextVec texts, const std::vector<uint64_t>& timestamps_us);
   /// The num_ingest_shards > 1 batch path: dedup + route by content
   /// hash, shard-parallel match/adopt under the shared lock, one
-  /// exclusive fold/append section. See ARCHITECTURE.md §4.
+  /// exclusive fold/append section. See ARCHITECTURE.md §4. Templated
+  /// like IngestBatchUnsharded.
+  template <typename TextVec>
   Result<std::vector<uint64_t>> IngestBatchSharded(
-      std::vector<std::string> texts,
-      const std::vector<uint64_t>& timestamps_us);
+      TextVec texts, const std::vector<uint64_t>& timestamps_us);
   /// Folds every shard's unfolded pending temporaries into the shared
   /// model, extending each shard's remap. Pendings adopted at the
   /// current model generation are adopted verbatim (their miss verdict
@@ -439,7 +560,15 @@ class ManagedTopic {
   /// Ingest shards (size == clamped num_ingest_shards); unique_ptr
   /// because shared_mutex is immovable. Empty state between batches is
   /// NOT guaranteed: pendings persist until a training resets them.
+  /// Resized ONLY by UpdateConfig under the exclusive lock; every read
+  /// of the vector itself must hold `mu_` (shared suffices).
   std::vector<std::unique_ptr<IngestShard>> shards_;
+  /// Lock-free mirror of shards_.size() for IngestBatch's path choice
+  /// (sharded vs plain). May be momentarily stale across a live
+  /// reshard — harmless: both paths are correct for any actual shard
+  /// count, and the sharded path re-reads the real size under the
+  /// shared lock before routing.
+  std::atomic<size_t> shard_count_{1};
   LogTopic topic_;
   InternalTopic internal_;
   ByteBrainParser parser_;
@@ -468,6 +597,9 @@ class ManagedTopic {
   std::string pending_model_checkpoint_;
   std::atomic<bool> checkpoint_pending_{false};
   std::mutex checkpoint_mu_;
+  /// Set by LogService::DeleteTopic: the destructor removes the storage
+  /// directory instead of checkpointing into it.
+  std::atomic<bool> purge_storage_{false};
   /// Single-thread pool for background training, created on first use;
   /// one thread because cycles are serialized by design (coalescing).
   /// Destroyed first in ~ManagedTopic, which drains the queue while all
@@ -482,21 +614,45 @@ class ManagedTopic {
   mutable std::shared_mutex mu_;
 };
 
-/// The multi-tenant service: a catalog of managed topics.
+/// The topic catalog. Topics are handed out as shared_ptrs so a
+/// DeleteTopic racing an in-flight operation on another thread is safe:
+/// the topic leaves the catalog immediately (no new lookups see it) and
+/// is destroyed — draining its background training — when the last
+/// holder releases it. Multi-tenant scoping, admission control, and the
+/// wire API live one layer up in api::ServiceFrontend; this catalog
+/// stays name-keyed and policy-free.
 class LogService {
  public:
-  /// Creates a topic; fails with AlreadyExists on name collisions.
-  Result<ManagedTopic*> CreateTopic(const std::string& name,
-                                    TopicConfig config = {});
+  /// Validates `config` (ValidateTopicConfig — InvalidArgument naming
+  /// the offending field), then creates the topic; AlreadyExists on
+  /// name collisions, the storage open error on a broken disk backend.
+  Result<std::shared_ptr<ManagedTopic>> CreateTopic(const std::string& name,
+                                                    TopicConfig config = {});
 
   /// Looks up an existing topic.
-  Result<ManagedTopic*> GetTopic(const std::string& name) const;
+  Result<std::shared_ptr<ManagedTopic>> GetTopic(const std::string& name) const;
+
+  /// Removes the topic from the catalog and (normally) destroys it
+  /// before returning: new lookups fail immediately, concurrent
+  /// operations that already resolved the topic finish (DeleteTopic
+  /// waits them out, bounded at ~5s), the in-flight training is
+  /// drained, and — with `purge_storage`, the default — a persistent
+  /// topic's segment directory is removed. The synchronous destruction
+  /// is what makes the purge safe against a CreateTopic reusing the
+  /// same directory right after this returns. Callers must release
+  /// their own topic handles before deleting; a holder that outlives
+  /// the wait deadline defers destruction (and the purge) to its final
+  /// release. Pass `purge_storage=false` to keep the bytes recoverable
+  /// by a future CreateTopic with the same directory. Fails with
+  /// NotFound for unknown names and Aborted for a topic whose creation
+  /// is still in flight on another thread.
+  Status DeleteTopic(const std::string& name, bool purge_storage = true);
 
   std::vector<std::string> TopicNames() const;
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<ManagedTopic>> topics_;
+  std::map<std::string, std::shared_ptr<ManagedTopic>> topics_;
 };
 
 }  // namespace bytebrain

@@ -1,11 +1,14 @@
-// Minimal binary serialization helpers shared by the model and storage
-// formats: little-endian fixed-width integers and length-prefixed strings.
+// Minimal binary serialization helpers shared by the model, storage,
+// and wire-API formats: little-endian fixed-width integers,
+// length-prefixed strings, and tagged fields (api/messages.h).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace bytebrain {
 
@@ -66,6 +69,153 @@ class ByteReader {
   const char* data_;
   size_t size_;
   size_t pos_ = 0;
+};
+
+/// Tagged-field framing for forward-compatible wire messages: each field
+/// is (u32 tag, u32 byte-length, payload). Decoders iterate fields and
+/// SKIP unknown tags, so a newer encoder can add fields without breaking
+/// an older decoder — the versioning rule the service API relies on
+/// (api/messages.h). Scalar fields carry exactly their fixed width;
+/// string/bytes fields carry the raw bytes; nested messages carry their
+/// own field sequence as the payload.
+///
+/// The u32 length caps any single field — including a nested message,
+/// and therefore any whole API payload — at 4 GiB. An oversized field
+/// is DROPPED WHOLE (framing stays valid, the decoder sees the field
+/// as absent) and the writer reports it via ok() — never a wrapped
+/// length that would frame-shift every following byte. Debug builds
+/// additionally assert so the bug is caught at the call site; callers
+/// are expected to keep messages orders of magnitude below the cap (a
+/// transport should impose its own, far smaller, message limit).
+class FieldWriter {
+ public:
+  explicit FieldWriter(std::string* out) : out_(out) {}
+
+  void PutU32(uint32_t tag, uint32_t v) {
+    Header(tag, 4);
+    ByteWriter(out_).PutU32(v);
+  }
+  void PutU64(uint32_t tag, uint64_t v) {
+    Header(tag, 8);
+    ByteWriter(out_).PutU64(v);
+  }
+  void PutDouble(uint32_t tag, double v) {
+    Header(tag, 8);
+    ByteWriter(out_).PutDouble(v);
+  }
+  void PutBool(uint32_t tag, bool v) { PutU32(tag, v ? 1 : 0); }
+  void PutBytes(uint32_t tag, std::string_view s) {
+    if (s.size() > UINT32_MAX) {
+      Overflow();
+      return;
+    }
+    Header(tag, static_cast<uint32_t>(s.size()));
+    out_->append(s);
+  }
+  /// Packed repeated u64 (one field, 8 bytes per element).
+  void PutU64Array(uint32_t tag, const std::vector<uint64_t>& vs) {
+    if (vs.size() > UINT32_MAX / 8) {
+      Overflow();
+      return;
+    }
+    Header(tag, static_cast<uint32_t>(vs.size() * 8));
+    ByteWriter w(out_);
+    for (uint64_t v : vs) w.PutU64(v);
+  }
+  /// Nested message: returns a position token for End(). Everything
+  /// appended to the underlying string between Begin and End becomes the
+  /// field's payload (the length is backpatched — no temporary copy).
+  size_t Begin(uint32_t tag) {
+    Header(tag, 0);
+    return out_->size();
+  }
+  void End(size_t begin_pos) {
+    if (out_->size() - begin_pos > UINT32_MAX) {
+      // Rewind the whole field (header included): dropping it keeps
+      // the framing valid, a wrapped length would corrupt everything
+      // after it.
+      out_->resize(begin_pos - 8);
+      Overflow();
+      return;
+    }
+    const uint32_t len = static_cast<uint32_t>(out_->size() - begin_pos);
+    std::memcpy(out_->data() + begin_pos - 4, &len, 4);
+  }
+  /// False once any field was dropped for exceeding the 4 GiB cap.
+  bool ok() const { return !overflow_; }
+
+ private:
+  void Overflow() {
+    assert(false && "field exceeds the 4 GiB frame cap");
+    overflow_ = true;
+  }
+  void Header(uint32_t tag, uint32_t len) {
+    ByteWriter w(out_);
+    w.PutU32(tag);
+    w.PutU32(len);
+  }
+  std::string* out_;
+  bool overflow_ = false;
+};
+
+/// Iterates the tagged fields of one message. Malformed framing
+/// (truncated header or payload) stops iteration and sets error();
+/// decoders must check it and surface a Corruption status — getters
+/// never read out of bounds.
+class FieldReader {
+ public:
+  explicit FieldReader(std::string_view bytes) : bytes_(bytes), r_(bytes) {}
+
+  /// Advances to the next field; false at the (clean or malformed) end.
+  bool Next(uint32_t* tag, std::string_view* payload) {
+    if (r_.AtEnd() || error_) return false;
+    uint32_t len = 0;
+    if (!r_.GetU32(tag) || !r_.GetU32(&len) || r_.remaining() < len) {
+      error_ = true;
+      return false;
+    }
+    *payload = bytes_.substr(r_.position(), len);
+    (void)r_.Skip(len);
+    return true;
+  }
+  bool error() const { return error_; }
+
+  /// Fixed-width payload decoders: false (leaving *v untouched) when the
+  /// payload does not carry exactly the expected width.
+  static bool U32(std::string_view payload, uint32_t* v) {
+    if (payload.size() != 4) return false;
+    std::memcpy(v, payload.data(), 4);
+    return true;
+  }
+  static bool U64(std::string_view payload, uint64_t* v) {
+    if (payload.size() != 8) return false;
+    std::memcpy(v, payload.data(), 8);
+    return true;
+  }
+  static bool Double(std::string_view payload, double* v) {
+    if (payload.size() != 8) return false;
+    std::memcpy(v, payload.data(), 8);
+    return true;
+  }
+  static bool Bool(std::string_view payload, bool* v) {
+    uint32_t raw = 0;
+    if (!U32(payload, &raw)) return false;
+    *v = raw != 0;
+    return true;
+  }
+  static bool U64Array(std::string_view payload, std::vector<uint64_t>* out) {
+    if (payload.size() % 8 != 0) return false;
+    out->resize(payload.size() / 8);
+    if (!payload.empty()) {
+      std::memcpy(out->data(), payload.data(), payload.size());
+    }
+    return true;
+  }
+
+ private:
+  std::string_view bytes_;
+  ByteReader r_;
+  bool error_ = false;
 };
 
 }  // namespace bytebrain

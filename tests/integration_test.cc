@@ -120,11 +120,11 @@ TEST(IntegrationTest, ServicePersistAndRecoverTopic) {
     ASSERT_TRUE(topic.Ingest(l.text).ok());
   }
   ASSERT_TRUE(topic.trained());
-  ASSERT_TRUE(topic.topic().PersistTo(path).ok());
+  ASSERT_TRUE(topic.PersistTo(path).ok());
 
   LogTopic restored("restored");
   ASSERT_TRUE(restored.RecoverFrom(path).ok());
-  ASSERT_EQ(restored.size(), topic.topic().size());
+  ASSERT_EQ(restored.size(), topic.size());
   // Template assignments survive persistence.
   size_t assigned = 0;
   for (uint64_t seq = 0; seq < restored.size(); ++seq) {

@@ -315,10 +315,10 @@ TEST(IngestBatchTest, MatchesSequentialIngestExactly) {
   EXPECT_EQ(a.adopted_templates, b.adopted_templates);
   EXPECT_EQ(a.num_templates, b.num_templates);
 
-  ASSERT_EQ(seq_topic.topic().size(), batch_topic.topic().size());
-  for (uint64_t seq = 0; seq < seq_topic.topic().size(); ++seq) {
-    const auto ra = seq_topic.topic().Read(seq);
-    const auto rb = batch_topic.topic().Read(seq);
+  ASSERT_EQ(seq_topic.size(), batch_topic.size());
+  for (uint64_t seq = 0; seq < seq_topic.size(); ++seq) {
+    const auto ra = seq_topic.ReadRecord(seq);
+    const auto rb = batch_topic.ReadRecord(seq);
     ASSERT_TRUE(ra.ok() && rb.ok());
     EXPECT_EQ(ra.value().template_id, rb.value().template_id)
         << "seq " << seq << ": " << ra.value().text;
@@ -327,13 +327,14 @@ TEST(IngestBatchTest, MatchesSequentialIngestExactly) {
 
 TEST(IngestBatchTest, RejectsMismatchedTimestamps) {
   ManagedTopic topic("ts", BatchTestConfig());
-  auto result = topic.IngestBatch({"a", "b"}, {1});
+  auto result =
+      topic.IngestBatch(std::vector<std::string>{"a", "b"}, {1});
   EXPECT_FALSE(result.ok());
 }
 
 TEST(IngestBatchTest, EmptyBatchIsNoop) {
   ManagedTopic topic("empty", BatchTestConfig());
-  auto result = topic.IngestBatch({});
+  auto result = topic.IngestBatch(std::vector<std::string>{});
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result.value().empty());
 }

@@ -193,7 +193,7 @@ TEST(MatcherTest, NoMatchForUnseenShape) {
 TEST(MatcherTest, UntrainedParserMatchesNothing) {
   ByteBrainParser parser(DefaultOptions());
   EXPECT_EQ(parser.Match("anything"), kInvalidTemplateId);
-  auto all = parser.MatchAll({"a", "b"}, 1);
+  auto all = parser.MatchAll(std::vector<std::string>{"a", "b"}, 1);
   EXPECT_EQ(all[0], kInvalidTemplateId);
 }
 

@@ -133,10 +133,10 @@ TEST(AsyncTrainingTest, IngestIsNotBlockedByInFlightTraining) {
   EXPECT_EQ(sync_topic.stats().trainings, async_topic.stats().trainings);
   EXPECT_EQ(sync_topic.stats().num_templates,
             async_topic.stats().num_templates);
-  ASSERT_EQ(sync_topic.topic().size(), async_topic.topic().size());
-  for (uint64_t seq = 0; seq < sync_topic.topic().size(); ++seq) {
-    const auto a = sync_topic.topic().Read(seq);
-    const auto b = async_topic.topic().Read(seq);
+  ASSERT_EQ(sync_topic.size(), async_topic.size());
+  for (uint64_t seq = 0; seq < sync_topic.size(); ++seq) {
+    const auto a = sync_topic.ReadRecord(seq);
+    const auto b = async_topic.ReadRecord(seq);
     ASSERT_TRUE(a.ok() && b.ok());
     EXPECT_EQ(a.value().template_id, b.value().template_id)
         << "seq " << seq << ": " << a.value().text;
@@ -171,7 +171,8 @@ TEST(AsyncTrainingTest, ParallelIngestDuringTrainingLosesNothing) {
         } else {
           // Batch path: its shared-lock match phase and exclusive adopt
           // section must interleave safely with the in-flight training.
-          if (!topic.IngestBatch({SshLog(n), DiskLog(n)}).ok()) {
+          if (!topic.IngestBatch(
+                  std::vector<std::string>{SshLog(n), DiskLog(n)}).ok()) {
             failures.fetch_add(1);
           }
         }
@@ -185,14 +186,14 @@ TEST(AsyncTrainingTest, ParallelIngestDuringTrainingLosesNothing) {
   EXPECT_EQ(failures.load(), 0);
   // 150 warmup + per thread: 30 singles + 30 batches of 2.
   const uint64_t expected = 150 + kThreads * (kPerThread / 2) * 3;
-  EXPECT_EQ(topic.topic().size(), expected);
+  EXPECT_EQ(topic.size(), expected);
   EXPECT_EQ(topic.stats().ingested_records, expected);
   // No lost assignments across the swap, and records with identical text
   // must agree on their template id (a duplicate-adoption or a dangling
   // old-model id would split them).
   std::unordered_map<std::string, TemplateId> by_text;
-  for (uint64_t seq = 0; seq < topic.topic().size(); ++seq) {
-    const auto rec = topic.topic().Read(seq);
+  for (uint64_t seq = 0; seq < topic.size(); ++seq) {
+    const auto rec = topic.ReadRecord(seq);
     ASSERT_TRUE(rec.ok());
     ASSERT_NE(rec.value().template_id, kInvalidTemplateId)
         << "record " << seq << " lost its assignment across the swap";
@@ -366,8 +367,8 @@ TEST(AsyncTrainingTest, AsyncInitialTrainingAssignsBacklog) {
   topic.WaitForPendingTraining();
   EXPECT_TRUE(topic.trained());
   EXPECT_GE(topic.stats().async_trainings, 1u);
-  for (uint64_t seq = 0; seq < topic.topic().size(); ++seq) {
-    EXPECT_NE(topic.topic().Read(seq)->template_id, kInvalidTemplateId)
+  for (uint64_t seq = 0; seq < topic.size(); ++seq) {
+    EXPECT_NE(topic.ReadRecord(seq)->template_id, kInvalidTemplateId)
         << "seq " << seq;
   }
 }

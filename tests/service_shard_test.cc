@@ -88,21 +88,18 @@ void IngestInBatches(ManagedTopic* topic, const std::vector<std::string>& texts,
 
 std::vector<uint64_t> RecordAssignments(const ManagedTopic& topic) {
   std::vector<uint64_t> out;
-  EXPECT_TRUE(topic.topic()
-                  .Scan(0, topic.topic().size(),
-                        [&out](uint64_t, const LogRecord& rec) {
-                          out.push_back(rec.template_id);
-                        })
+  EXPECT_TRUE(topic
+                  .ScanRecords(0, topic.size(),
+                               [&out](uint64_t, const LogRecord& rec) {
+                                 out.push_back(rec.template_id);
+                               })
                   .ok());
   return out;
 }
 
 std::multiset<std::string> TemplateTexts(const ManagedTopic& topic) {
-  std::multiset<std::string> texts;
-  for (const TreeNode& n : topic.parser().model().nodes()) {
-    texts.insert(topic.parser().TemplateText(n.id));
-  }
-  return texts;
+  const std::vector<std::string> texts = topic.TemplateTexts();
+  return std::multiset<std::string>(texts.begin(), texts.end());
 }
 
 // The acceptance scenario: the same corpus pushed through 1 shard and 4
@@ -219,11 +216,11 @@ TEST(ShardedIngestTest, DuplicatesColocateAndFoldOnce) {
 
   // All duplicates of a shape share one template id.
   std::map<std::string, std::set<TemplateId>> ids_by_text;
-  ASSERT_TRUE(topic.topic()
-                  .Scan(200, topic.topic().size(),
-                        [&](uint64_t, const LogRecord& rec) {
-                          ids_by_text[rec.text].insert(rec.template_id);
-                        })
+  ASSERT_TRUE(topic
+                  .ScanRecords(200, topic.size(),
+                               [&](uint64_t, const LogRecord& rec) {
+                                 ids_by_text[rec.text].insert(rec.template_id);
+                               })
                   .ok());
   ASSERT_EQ(ids_by_text.size(), static_cast<size_t>(kShapes));
   for (const auto& [text, ids] : ids_by_text) {
@@ -246,7 +243,8 @@ TEST(ShardedIngestTest, UnshardedTopicReportsIdleShard) {
   for (int i = 0; i < 250; ++i) {
     ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());
   }
-  ASSERT_TRUE(topic.IngestBatch({SshLog(1), SshLog(2)}).ok());
+  ASSERT_TRUE(
+      topic.IngestBatch(std::vector<std::string>{SshLog(1), SshLog(2)}).ok());
   const TopicStats stats = topic.stats();
   ASSERT_EQ(stats.shards.size(), 1u);
   EXPECT_EQ(stats.shards[0].records, 0u);
@@ -316,12 +314,12 @@ TEST(ShardedIngestTest, TenantRuleTopicsDedupOnTwoPassHash) {
   EXPECT_EQ(adopted, static_cast<uint64_t>(kShapes));
   // Each shape's records share one template id.
   std::map<std::string, std::set<TemplateId>> ids_by_shape;
-  ASSERT_TRUE(topic.topic()
-                  .Scan(200, topic.topic().size(),
-                        [&](uint64_t, const LogRecord& rec) {
-                          ids_by_shape[rec.text.substr(0, 8)].insert(
-                              rec.template_id);
-                        })
+  ASSERT_TRUE(topic
+                  .ScanRecords(200, topic.size(),
+                               [&](uint64_t, const LogRecord& rec) {
+                                 ids_by_shape[rec.text.substr(0, 8)].insert(
+                                     rec.template_id);
+                               })
                   .ok());
   ASSERT_EQ(ids_by_shape.size(), static_cast<size_t>(kShapes));
   for (const auto& [shape, ids] : ids_by_shape) {
@@ -467,7 +465,7 @@ TEST(ShardedIngestTest, ShardingComposesWithAsyncRetrain) {
   EXPECT_GE(stats.trainings, 2u);
   EXPECT_GE(stats.async_trainings, 1u);
   EXPECT_EQ(stats.failed_trainings, 0u);
-  EXPECT_EQ(stats.ingested_records, topic.topic().size());
+  EXPECT_EQ(stats.ingested_records, topic.size());
   for (uint64_t id : RecordAssignments(topic)) {
     EXPECT_NE(id, kInvalidTemplateId);
   }
@@ -536,11 +534,11 @@ TEST(ShardedIngestTest, ShardMemoSkipsPrematchAcrossBatches) {
   EXPECT_EQ(GroupingAccuracy(plain, shard), 1.0);
   // All copies of a shape across all three batches share ONE id.
   std::map<std::string, std::set<TemplateId>> ids_by_text;
-  ASSERT_TRUE(sharded.topic()
-                  .Scan(200, sharded.topic().size(),
-                        [&](uint64_t, const LogRecord& rec) {
-                          ids_by_text[rec.text].insert(rec.template_id);
-                        })
+  ASSERT_TRUE(sharded
+                  .ScanRecords(200, sharded.size(),
+                               [&](uint64_t, const LogRecord& rec) {
+                                 ids_by_text[rec.text].insert(rec.template_id);
+                               })
                   .ok());
   for (const auto& [text, ids] : ids_by_text) {
     EXPECT_EQ(ids.size(), 1u) << text;
@@ -588,11 +586,11 @@ TEST(ShardedIngestTest, ConcurrentBatchesDoNotDuplicateTemplates) {
   // Every copy of a shape resolves to ONE template id across both
   // batches (colocation + the pending matcher dedup across batches).
   std::map<std::string, std::set<TemplateId>> ids_by_text;
-  ASSERT_TRUE(topic.topic()
-                  .Scan(200, topic.topic().size(),
-                        [&](uint64_t, const LogRecord& rec) {
-                          ids_by_text[rec.text].insert(rec.template_id);
-                        })
+  ASSERT_TRUE(topic
+                  .ScanRecords(200, topic.size(),
+                               [&](uint64_t, const LogRecord& rec) {
+                                 ids_by_text[rec.text].insert(rec.template_id);
+                               })
                   .ok());
   ASSERT_EQ(ids_by_text.size(), static_cast<size_t>(kShapes));
   for (const auto& [text, ids] : ids_by_text) {

@@ -52,12 +52,12 @@ TEST(ManagedTopicTest, RecordsCarryTemplateIdsAfterTraining) {
   // Records in the training window are (re)assigned; later arrivals are
   // matched online at ingestion.
   size_t with_template = 0;
-  for (uint64_t seq = 0; seq < topic.topic().size(); ++seq) {
-    if (topic.topic().Read(seq)->template_id != kInvalidTemplateId) {
+  for (uint64_t seq = 0; seq < topic.size(); ++seq) {
+    if (topic.ReadRecord(seq)->template_id != kInvalidTemplateId) {
       ++with_template;
     }
   }
-  EXPECT_EQ(with_template, topic.topic().size());
+  EXPECT_EQ(with_template, topic.size());
 }
 
 TEST(ManagedTopicTest, UnmatchedLogsAreAdoptedAsTemporaries) {
@@ -71,7 +71,7 @@ TEST(ManagedTopicTest, UnmatchedLogsAreAdoptedAsTemporaries) {
   const auto after = topic.stats();
   EXPECT_EQ(after.adopted_templates, before.adopted_templates + 1);
   // The adopted template's metadata is published to the internal topic.
-  EXPECT_GT(topic.internal_topic().size(), 0u);
+  EXPECT_GT(topic.TemplateCatalog().size(), 0u);
 }
 
 TEST(ManagedTopicTest, RetrainTriggersOnRecordInterval) {
@@ -108,7 +108,7 @@ TEST(ManagedTopicTest, QueryGroupsByTemplate) {
     total += g.count;
     EXPECT_EQ(g.count, g.sequence_numbers.size());
   }
-  EXPECT_EQ(total, topic.topic().size());
+  EXPECT_EQ(total, topic.size());
 }
 
 TEST(ManagedTopicTest, LowerThresholdCoarsensGroups) {
@@ -149,7 +149,7 @@ TEST(ManagedTopicTest, DetectAnomaliesFindsNewTemplateAndSpike) {
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());
   }
-  const uint64_t w1_end = topic.topic().size();
+  const uint64_t w1_end = topic.size();
   // Window 2: ssh continues plus a brand-new error pattern burst.
   for (int i = 0; i < 60; ++i) {
     ASSERT_TRUE(topic.Ingest(SshLog(i)).ok());
@@ -159,7 +159,7 @@ TEST(ManagedTopicTest, DetectAnomaliesFindsNewTemplateAndSpike) {
   }
   ASSERT_TRUE(topic.TrainNow().ok());
   auto anomalies =
-      topic.DetectAnomalies(0, w1_end, w1_end, topic.topic().size());
+      topic.DetectAnomalies(0, w1_end, w1_end, topic.size());
   ASSERT_TRUE(anomalies.ok());
   bool found_new = false;
   for (const auto& a : anomalies.value()) {

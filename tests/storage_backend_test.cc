@@ -473,14 +473,14 @@ TEST(ServiceStorageTest, DiskTopicRecoversRecordsModelAndQueries) {
   uint64_t pre_size = 0;
   {
     ManagedTopic topic("t", DiskTopicConfig(dir.path()));
-    ASSERT_TRUE(topic.topic().storage_status().ok());
+    ASSERT_TRUE(topic.StorageStatus().ok());
     for (int i = 0; i < 500; ++i) {
       ASSERT_TRUE(topic.Ingest(ServiceLog(i)).ok());
     }
     ASSERT_TRUE(topic.trained());
     // TrainNow checkpoints the model into the manifest at commit.
     ASSERT_TRUE(topic.TrainNow().ok());
-    pre_size = topic.topic().size();
+    pre_size = topic.size();
     auto q = topic.Query(1.0);
     ASSERT_TRUE(q.ok());
     for (const TemplateGroup& g : q.value()) {
@@ -490,7 +490,7 @@ TEST(ServiceStorageTest, DiskTopicRecoversRecordsModelAndQueries) {
   }
 
   ManagedTopic topic("t", DiskTopicConfig(dir.path()));
-  ASSERT_TRUE(topic.topic().storage_status().ok());
+  ASSERT_TRUE(topic.StorageStatus().ok());
   EXPECT_TRUE(topic.trained());
   const TopicStats stats = topic.stats();
   EXPECT_EQ(stats.recovered_records, pre_size);
@@ -535,19 +535,19 @@ TEST(ServiceStorageTest, PostCheckpointAdoptionsRematchedOnRecovery) {
   }
 
   ManagedTopic topic("t", DiskTopicConfig(dir.path()));
-  ASSERT_TRUE(topic.topic().storage_status().ok());
+  ASSERT_TRUE(topic.StorageStatus().ok());
   ASSERT_TRUE(topic.trained());
   // Every record resolves to a renderable template — no dangling ids.
   std::set<TemplateId> ids;
-  ASSERT_TRUE(topic.topic()
-                  .Scan(0, topic.topic().size(),
-                        [&ids](uint64_t, const LogRecord& rec) {
-                          ids.insert(rec.template_id);
-                        })
+  ASSERT_TRUE(topic
+                  .ScanRecords(0, topic.size(),
+                               [&ids](uint64_t, const LogRecord& rec) {
+                                 ids.insert(rec.template_id);
+                               })
                   .ok());
   for (TemplateId id : ids) {
     ASSERT_NE(id, kInvalidTemplateId);
-    EXPECT_NE(topic.parser().model().node(id), nullptr) << id;
+    EXPECT_TRUE(topic.HasTemplate(id)) << id;
   }
   auto q = topic.Query(1.0);
   ASSERT_TRUE(q.ok());
@@ -566,7 +566,7 @@ TEST(ServiceStorageTest, DiskTopicEndStateMatchesMemoryTopic) {
   mem_config.storage = StorageConfig{};  // default: memory
   ManagedTopic memory("m", mem_config);
   ManagedTopic disk("d", DiskTopicConfig(dir.path()));
-  ASSERT_TRUE(disk.topic().storage_status().ok());
+  ASSERT_TRUE(disk.StorageStatus().ok());
 
   for (int i = 0; i < 400; ++i) {
     ASSERT_TRUE(memory.Ingest(ServiceLog(i)).ok());
@@ -612,7 +612,7 @@ TEST(ServiceStorageTest, LargeWindowSnapshotReadsSealedViaMmap) {
   config.async_training = false;
   config.num_threads = 2;
   ManagedTopic topic("big", config);
-  ASSERT_TRUE(topic.topic().storage_status().ok());
+  ASSERT_TRUE(topic.StorageStatus().ok());
 
   std::vector<std::string> batch;
   batch.reserve(4096);
@@ -624,7 +624,7 @@ TEST(ServiceStorageTest, LargeWindowSnapshotReadsSealedViaMmap) {
     auto seqs = topic.IngestBatch(batch);
     ASSERT_TRUE(seqs.ok()) << seqs.status().ToString();
   }
-  ASSERT_EQ(topic.topic().size(), kRecords);
+  ASSERT_EQ(topic.size(), kRecords);
   ASSERT_GT(topic.stats().storage_sealed_segments, 1u);
 
   ASSERT_TRUE(topic.TrainNow().ok());
@@ -654,7 +654,7 @@ TEST(ServiceStorageTest, DiskTopicConcurrentIngestQueryRetrain) {
   config.async_training = true;
   config.train_interval_records = 400;
   ManagedTopic topic("t", config);
-  ASSERT_TRUE(topic.topic().storage_status().ok());
+  ASSERT_TRUE(topic.StorageStatus().ok());
 
   std::atomic<bool> done{false};
   std::atomic<uint64_t> query_errors{0};
@@ -683,10 +683,10 @@ TEST(ServiceStorageTest, DiskTopicConcurrentIngestQueryRetrain) {
   topic.WaitForPendingTraining();
 
   EXPECT_EQ(query_errors.load(), 0u);
-  EXPECT_EQ(topic.topic().size(), 2u * 20u * 64u);
+  EXPECT_EQ(topic.size(), 2u * 20u * 64u);
   EXPECT_EQ(topic.stats().failed_trainings, 0u);
-  for (uint64_t seq = 0; seq < topic.topic().size(); ++seq) {
-    ASSERT_TRUE(topic.topic().Read(seq).ok());
+  for (uint64_t seq = 0; seq < topic.size(); ++seq) {
+    ASSERT_TRUE(topic.ReadRecord(seq).ok());
   }
 }
 
