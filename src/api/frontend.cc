@@ -154,7 +154,15 @@ Status ServiceFrontend::AdmitIngest(TenantState* tenant, uint64_t records,
                                     uint64_t* retry_after_us) {
   const uint64_t byte_rate = config_.max_ingest_bytes_per_sec;
   const uint64_t record_rate = config_.max_ingest_records_per_sec;
-  if (byte_rate == 0 && record_rate == 0) return Status::OK();
+  if (byte_rate == 0 && record_rate == 0) {
+    // Unlimited rates skip the buckets but NOT the meter — the meter is
+    // the tenant's usage record either way.
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    ++tenant->meter.admitted_requests;
+    tenant->meter.admitted_bytes += bytes;
+    tenant->meter.admitted_records += records;
+    return Status::OK();
+  }
 
   const uint64_t now = NowUs();
   std::lock_guard<std::mutex> lock(tenant->mu);
@@ -202,6 +210,9 @@ Status ServiceFrontend::AdmitIngest(TenantState* tenant, uint64_t records,
   if (wait_seconds > 0.0) {
     // Denied: consume NOTHING (a starved client must not dig the hole
     // deeper by retrying) and say when the buckets will cover it.
+    ++tenant->meter.denied_requests;
+    tenant->meter.denied_bytes += bytes;
+    tenant->meter.denied_records += records;
     *retry_after_us = static_cast<uint64_t>(std::ceil(wait_seconds * 1e6));
     return Status::ResourceExhausted(
         "tenant ingest rate quota exceeded; retry after " +
@@ -211,6 +222,9 @@ Status ServiceFrontend::AdmitIngest(TenantState* tenant, uint64_t records,
   if (record_rate > 0) {
     tenant->record_tokens -= static_cast<double>(records);
   }
+  ++tenant->meter.admitted_requests;
+  tenant->meter.admitted_bytes += bytes;
+  tenant->meter.admitted_records += records;
   return Status::OK();
 }
 
@@ -343,6 +357,11 @@ Status ServiceFrontend::IngestBatchGuarded(
   if (config_.max_inflight_batches > 0) {
     std::lock_guard<std::mutex> lock(state->mu);
     if (state->inflight_batches >= config_.max_inflight_batches) {
+      // An inflight-cap rejection is a denial like a rate-limit one:
+      // the offered batch was shed before reaching the topic.
+      ++state->meter.denied_requests;
+      state->meter.denied_bytes += bytes;
+      state->meter.denied_records += records;
       if (retry_after_us != nullptr) *retry_after_us = 1000;
       return Status::ResourceExhausted(
           "tenant in-flight batch cap (" +
@@ -454,6 +473,13 @@ Status ServiceFrontend::GetStats(std::string_view tenant,
   auto topic = ResolveTopic(tenant, req.topic);
   BB_RETURN_IF_ERROR(topic.status());
   resp->stats = topic.value()->stats();
+  // The tenant meter is tenant-wide (admission control runs per tenant,
+  // not per topic), so any of the tenant's topics reports the same one.
+  TenantState* state = Tenant(tenant);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    resp->tenant = state->meter;
+  }
   return Status::OK();
 }
 

@@ -135,6 +135,11 @@ class ServiceFrontend {
     bool buckets_primed = false;
     uint32_t inflight_batches = 0;
     uint32_t topic_count = 0;
+    /// Metering (satellite of the durability PR): every ingest-shaped
+    /// request lands in exactly one side — admitted (reached the topic)
+    /// or denied (rate limit / inflight cap). Monotone over the tenant's
+    /// lifetime, read back through GetStats (wire TenantMeter).
+    TenantMeter meter;
   };
 
   uint64_t NowUs() const;

@@ -185,6 +185,7 @@ void EncodeTopicConfig(const TopicConfig& config, std::string* out) {
     rw.PutBytes(2, pattern);
     w.End(rule);
   }
+  w.PutU32(14, static_cast<uint32_t>(config.durability));
 }
 
 Status DecodeTopicConfig(std::string_view bytes, TopicConfig* out) {
@@ -253,6 +254,14 @@ Status DecodeTopicConfig(std::string_view bytes, TopicConfig* out) {
         out->variable_rules.emplace_back(std::move(name), std::move(pattern));
         break;
       }
+      case 14:
+        if (!TakeU32(p, &u32)) goto malformed;
+        if (u32 > static_cast<uint32_t>(DurabilityMode::kWalGroupCommit)) {
+          return Status::InvalidArgument("unknown durability mode " +
+                                         std::to_string(u32));
+        }
+        out->durability = static_cast<DurabilityMode>(u32);
+        break;
       default:
         break;
     }
@@ -798,6 +807,21 @@ void GetStatsResponse::EncodeTo(std::string* out) const {
     sw.PutU64(7, s.memo_hits);
     w.End(body);
   }
+  w.PutU64(23, stats.wal_bytes);
+  w.PutU64(24, stats.wal_group_commits);
+  w.PutU64(25, stats.wal_fsyncs);
+  w.PutU64(26, stats.wal_replayed_records);
+  {
+    const size_t body = w.Begin(27);
+    FieldWriter tw(out);
+    tw.PutU64(1, tenant.admitted_requests);
+    tw.PutU64(2, tenant.denied_requests);
+    tw.PutU64(3, tenant.admitted_bytes);
+    tw.PutU64(4, tenant.denied_bytes);
+    tw.PutU64(5, tenant.admitted_records);
+    tw.PutU64(6, tenant.denied_records);
+    w.End(body);
+  }
 }
 
 Status GetStatsResponse::DecodeFrom(std::string_view bytes) {
@@ -907,6 +931,49 @@ Status GetStatsResponse::DecodeFrom(std::string_view bytes) {
         }
         if (sr.error()) goto malformed;
         stats.shards.push_back(s);
+        break;
+      }
+      case 23:
+        if (!TakeU64(p, &stats.wal_bytes)) goto malformed;
+        break;
+      case 24:
+        if (!TakeU64(p, &stats.wal_group_commits)) goto malformed;
+        break;
+      case 25:
+        if (!TakeU64(p, &stats.wal_fsyncs)) goto malformed;
+        break;
+      case 26:
+        if (!TakeU64(p, &stats.wal_replayed_records)) goto malformed;
+        break;
+      case 27: {
+        FieldReader tr(p);
+        uint32_t ttag = 0;
+        std::string_view tp;
+        while (tr.Next(&ttag, &tp)) {
+          switch (ttag) {
+            case 1:
+              if (!TakeU64(tp, &tenant.admitted_requests)) goto malformed;
+              break;
+            case 2:
+              if (!TakeU64(tp, &tenant.denied_requests)) goto malformed;
+              break;
+            case 3:
+              if (!TakeU64(tp, &tenant.admitted_bytes)) goto malformed;
+              break;
+            case 4:
+              if (!TakeU64(tp, &tenant.denied_bytes)) goto malformed;
+              break;
+            case 5:
+              if (!TakeU64(tp, &tenant.admitted_records)) goto malformed;
+              break;
+            case 6:
+              if (!TakeU64(tp, &tenant.denied_records)) goto malformed;
+              break;
+            default:
+              break;
+          }
+        }
+        if (tr.error()) goto malformed;
         break;
       }
       default:

@@ -281,8 +281,25 @@ struct GetStatsRequest {
   Status DecodeFrom(std::string_view bytes);
 };
 
+/// Per-tenant ingest metering, accumulated by the frontend across ALL
+/// of the tenant's topics (admission control outcomes: what was let
+/// through vs shed). Denied counters cover rate-limit denials and
+/// inflight-cap rejections; a denial consumes no tokens, so
+/// denied_bytes/records describe offered-but-shed load.
+struct TenantMeter {
+  uint64_t admitted_requests = 0;
+  uint64_t denied_requests = 0;
+  uint64_t admitted_bytes = 0;
+  uint64_t denied_bytes = 0;
+  uint64_t admitted_records = 0;
+  uint64_t denied_records = 0;
+};
+
 struct GetStatsResponse {
   TopicStats stats;
+  /// Filled by the frontend (tenant-wide, not per-topic); all zeros when
+  /// stats are read without a frontend in the path.
+  TenantMeter tenant;
 
   void EncodeTo(std::string* out) const;
   Status DecodeFrom(std::string_view bytes);

@@ -10,10 +10,22 @@
 #include <cstring>
 #include <filesystem>
 
+#include "logstore/fault_injection.h"
+#include "logstore/frame_format.h"
+#include "logstore/wal.h"
 #include "util/hashing.h"
 #include "util/serde.h"
 
 namespace bytebrain {
+
+// The record frame helpers live in logstore/frame_format.h now — the
+// WAL appends and replays the same frame bytes.
+using logframe::FillFrameHeader;
+using logframe::Frame;
+using logframe::kFrameHeaderBytes;
+using logframe::kFrameTidOffset;
+using logframe::MaterializeFrame;
+using logframe::ParseFrame;
 
 namespace {
 
@@ -24,12 +36,6 @@ namespace {
 // a complete manifest — old or new, never torn.
 constexpr uint64_t kManifestMagic = 0x4242544d'414e4946ULL;  // "BBTMANIF"
 constexpr uint32_t kManifestVersion = 1;
-
-// Record frame: text_len u32 | timestamp u64 | template_id u64 |
-// checksum u64 | text bytes. The template id sits at a fixed offset so
-// AssignTemplate can rewrite it with one 8-byte pwrite.
-constexpr size_t kFrameHeaderBytes = 4 + 8 + 8 + 8;
-constexpr size_t kFrameTidOffset = 4 + 8;
 
 Status IOErrorFor(const std::string& what, const std::string& path) {
   return Status::IOError(what + ": " + path);
@@ -42,57 +48,8 @@ Status IOErrorFor(const std::string& what, const std::string& path) {
 // and than writev()'s per-iovec cost at log-record frame sizes.
 constexpr size_t kWriteBufferBytes = 1 << 18;
 
-// Serializes the fixed-width frame header in place (no intermediate
-// string on the append path).
-void FillFrameHeader(char* header, const LogRecord& rec, uint64_t crc) {
-  const uint32_t len = static_cast<uint32_t>(rec.text.size());
-  std::memcpy(header, &len, 4);
-  std::memcpy(header + 4, &rec.timestamp_us, 8);
-  std::memcpy(header + kFrameTidOffset, &rec.template_id, 8);
-  std::memcpy(header + kFrameTidOffset + 8, &crc, 8);
-}
-
-/// One decoded frame, as parsed by ParseFrame.
-struct Frame {
-  size_t start = 0;  // frame offset within the segment
-  uint32_t text_len = 0;
-  uint64_t ts = 0;
-  uint64_t tid = 0;
-  uint64_t crc = 0;
-  std::string_view text;  // aliases the segment bytes
-};
-
-// Decodes one frame at the reader's position (over the segment bytes
-// starting at `base`), bounds-checking the text and verifying the
-// stored checksum. Returns false on a torn or corrupt frame. The ONE
-// parser both recovery and sealed verification use — a frame-format
-// change lands here (plus FillFrameHeader/MaterializeFrame), nowhere
-// else.
-bool ParseFrame(ByteReader* reader, const char* base, Frame* out) {
-  out->start = reader->position();
-  if (!reader->GetU32(&out->text_len) || !reader->GetU64(&out->ts) ||
-      !reader->GetU64(&out->tid) || !reader->GetU64(&out->crc) ||
-      reader->remaining() < out->text_len) {
-    return false;
-  }
-  out->text =
-      std::string_view(base + out->start + kFrameHeaderBytes, out->text_len);
-  (void)reader->Skip(out->text_len);
-  return out->crc == RecordChecksum(out->ts, out->text);
-}
-
-// Copies the frame at `frame` (sealed mmap or active buffer) into a
-// LogRecord; `out->text`'s capacity is recycled across calls.
-void MaterializeFrame(const char* frame, LogRecord* out) {
-  uint32_t len;
-  std::memcpy(&len, frame, 4);
-  std::memcpy(&out->timestamp_us, frame + 4, 8);
-  std::memcpy(&out->template_id, frame + kFrameTidOffset, 8);
-  out->text.assign(frame + kFrameHeaderBytes, len);
-}
-
-Status SyncFile(std::FILE* f, const std::string& path) {
-  if (std::fflush(f) != 0 || ::fsync(fileno(f)) != 0) {
+Status SyncFile(std::FILE* f, const std::string& path, FileOps* ops) {
+  if (std::fflush(f) != 0 || ops->Fsync(fileno(f)) != 0) {
     return IOErrorFor("cannot sync", path);
   }
   return Status::OK();
@@ -177,6 +134,7 @@ SegmentedDiskBackend::SegmentedDiskBackend(StorageConfig config)
   if (config_.segment_data_bytes == 0) {
     config_.segment_data_bytes = 8ull * 1024 * 1024;
   }
+  ops_ = config_.file_ops != nullptr ? config_.file_ops : RealFileOps();
   active_checksum_fold_ = kSegmentChecksumSeed;
 }
 
@@ -244,6 +202,50 @@ Status SegmentedDiskBackend::Open() {
   sealed_records_ = next_seq;
   active_index_ = sealed_count;
   BB_RETURN_IF_ERROR(RecoverActiveSegment());
+
+  if (config_.durability != DurabilityMode::kNone) {
+    wal_ = std::make_unique<WriteAheadLog>(config_.directory,
+                                           config_.durability, ops_);
+    std::vector<LogRecord> walied;
+    BB_RETURN_IF_ERROR(
+        wal_->OpenAndReplay(active_index_, sealed_records_, &walied));
+    if (walied.size() > active_count()) {
+      // The WAL is written ahead of the segment drain, so after a crash
+      // it usually holds MORE than the active file: stream the excess
+      // back through the normal append path (it lands in the mirror and
+      // the active file) without re-logging it — the frames are already
+      // in the WAL. wal_replaying_ also defers sealing: a mid-replay
+      // seal would rotate the WAL out from under the frames being
+      // replayed.
+      wal_replaying_ = true;
+      Status error = io_error_;
+      bool buffering = error.ok();
+      for (size_t i = active_count(); i < walied.size(); ++i) {
+        AppendRecordLocked(std::move(walied[i]), &buffering, &error);
+        ++wal_replayed_;
+      }
+      wal_replaying_ = false;
+      BB_RETURN_IF_ERROR(error);
+      if (active_bytes_ >= config_.segment_data_bytes) {
+        BB_RETURN_IF_ERROR(SealActiveLocked());
+      }
+    } else if (walied.size() < active_count()) {
+      // The crash caught a drained batch before its WAL append: the
+      // segment file is AHEAD of the WAL. Frame i of the WAL must stay
+      // record i of the active segment — re-log the missing suffix so
+      // new appends land at matching positions.
+      std::string catchup;
+      for (size_t i = walied.size(); i < active_.size(); ++i) {
+        const LogRecord& rec = active_[i];
+        const uint64_t crc = RecordChecksum(rec.timestamp_us, rec.text);
+        char header[kFrameHeaderBytes];
+        FillFrameHeader(header, rec, crc);
+        catchup.append(header, kFrameHeaderBytes);
+        catchup.append(rec.text);
+      }
+      BB_RETURN_IF_ERROR(wal_->Append(catchup));
+    }
+  }
   opened_ = true;
   return Status::OK();
 }
@@ -308,7 +310,7 @@ Status SegmentedDiskBackend::WriteManifest() const {
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return IOErrorFor("cannot open for write", tmp);
   const size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
-  Status sync = written == payload.size() ? SyncFile(f, tmp)
+  Status sync = written == payload.size() ? SyncFile(f, tmp, ops_)
                                           : IOErrorFor("short write", tmp);
   if (std::fclose(f) != 0 && sync.ok()) {
     sync = IOErrorFor("close failed", tmp);
@@ -443,8 +445,8 @@ Status SegmentedDiskBackend::FlushWriteBuffer() {
   if (!io_error_.ok()) return io_error_;
   size_t done = 0;
   while (done < write_buffer_.size()) {
-    const ssize_t n = ::write(active_fd_, write_buffer_.data() + done,
-                              write_buffer_.size() - done);
+    const ssize_t n = ops_->Write(active_fd_, write_buffer_.data() + done,
+                                  write_buffer_.size() - done);
     if (n <= 0) {
       // The file now ends mid-frame (recovery truncates it); go sticky
       // — no further bytes are written, the buffer is dropped (its
@@ -474,6 +476,12 @@ void SegmentedDiskBackend::AppendRecordLocked(LogRecord record,
     FillFrameHeader(header, record, crc);
     write_buffer_.append(header, kFrameHeaderBytes);
     write_buffer_.append(record.text);
+    if (wal_ != nullptr && !wal_replaying_) {
+      // Same frame bytes, staged for one WAL write per batch. Replay
+      // skips this: the frames being replayed came FROM the WAL.
+      wal_scratch_.append(header, kFrameHeaderBytes);
+      wal_scratch_.append(record.text);
+    }
   }
   active_bytes_ += kFrameHeaderBytes + record.text.size();
   active_checksum_fold_ = HashCombine(active_checksum_fold_, crc);
@@ -484,13 +492,33 @@ void SegmentedDiskBackend::AppendRecordLocked(LogRecord record,
     if (write_buffer_.size() >= kWriteBufferBytes) {
       io = FlushWriteBuffer();
     }
-    if (io.ok() && active_bytes_ >= config_.segment_data_bytes) {
+    if (io.ok() && !wal_replaying_ &&
+        active_bytes_ >= config_.segment_data_bytes) {
       io = SealActiveLocked();
     }
     if (!io.ok()) {
       if (error->ok()) *error = std::move(io);
       *buffering = false;
     }
+  }
+}
+
+void SegmentedDiskBackend::FlushWalScratchLocked(Status* error) {
+  if (wal_ == nullptr || wal_scratch_.empty()) return;
+  if (!io_error_.ok()) {
+    // Degraded: the WAL stopped with the rest of the write path; the
+    // staged frames' records live on in the mirror only.
+    wal_scratch_.clear();
+    return;
+  }
+  const Status logged = wal_->Append(wal_scratch_);
+  wal_scratch_.clear();
+  if (!logged.ok()) {
+    // Same sticky degradation as a segment write failure: with the WAL
+    // gone, acknowledged ⇒ durable cannot be kept, so the backend stops
+    // pretending (storage_ok flips false upstream).
+    if (io_error_.ok()) io_error_ = logged;
+    if (error->ok()) *error = logged;
   }
 }
 
@@ -505,6 +533,7 @@ Status SegmentedDiskBackend::Append(LogRecord record) {
   Status error = io_error_;
   bool buffering = error.ok();
   AppendRecordLocked(std::move(record), &buffering, &error);
+  FlushWalScratchLocked(&error);
   return error;
 }
 
@@ -521,6 +550,7 @@ Status SegmentedDiskBackend::AppendBatch(std::vector<LogRecord> records) {
   for (LogRecord& record : records) {
     AppendRecordLocked(std::move(record), &buffering, &first_error);
   }
+  FlushWalScratchLocked(&first_error);
   return first_error;
 }
 
@@ -536,14 +566,13 @@ Status SegmentedDiskBackend::Flush() {
   // frame is on the file now, so the offsets are addressable.
   for (uint32_t idx : dirty_tids_) {
     const uint64_t tid = active_[idx].template_id;
-    if (::pwrite(active_fd_, &tid, 8,
-                 static_cast<off_t>(active_offsets_[idx] + kFrameTidOffset)) !=
-        8) {
+    if (ops_->PWrite(active_fd_, &tid, 8,
+                     active_offsets_[idx] + kFrameTidOffset) != 8) {
       return IOErrorFor("cannot patch template id", path);
     }
   }
   dirty_tids_.clear();
-  if (::fsync(active_fd_) != 0) {
+  if (ops_->Fsync(active_fd_) != 0) {
     return IOErrorFor("cannot sync active segment", path);
   }
   return Status::OK();
@@ -557,6 +586,9 @@ Status SegmentedDiskBackend::SealActiveLocked() {
 
 Status SegmentedDiskBackend::SealActiveImplLocked() {
   BB_RETURN_IF_ERROR(Flush());
+  // Every staged WAL frame is now fsynced in the segment file itself;
+  // logging it would only replay it into the wrong (next) segment.
+  wal_scratch_.clear();
   CloseActiveFile();
 
   std::shared_ptr<const SealedSegment> seg;
@@ -598,7 +630,13 @@ Status SegmentedDiskBackend::SealActiveImplLocked() {
   active_checksum_fold_ = kSegmentChecksumSeed;
   ++active_index_;
   BB_RETURN_IF_ERROR(WriteManifest());
-  return OpenActiveFile();
+  BB_RETURN_IF_ERROR(OpenActiveFile());
+  if (wal_ != nullptr) {
+    // Checkpoint-on-seal: the sealed segment's fsync covers every
+    // logged frame, so the WAL starts over for the new active segment.
+    return wal_->Rotate(active_index_, sealed_records_);
+  }
+  return Status::OK();
 }
 
 Status SegmentedDiskBackend::Read(uint64_t seq, LogRecord* out) const {
@@ -666,7 +704,7 @@ Status SegmentedDiskBackend::AssignTemplate(uint64_t seq,
                                        kFrameTidOffset);
   // MAP_SHARED keeps the read-only mapping coherent with this write;
   // frame checksums exclude the template id by design.
-  if (::pwrite(seg.fd, &template_id, 8, off) != 8) {
+  if (ops_->PWrite(seg.fd, &template_id, 8, static_cast<uint64_t>(off)) != 8) {
     return IOErrorFor("cannot patch template id", SegmentPath(seg_index));
   }
   return Status::OK();
@@ -695,7 +733,7 @@ Status SegmentedDiskBackend::AssignTemplates(
       TemplateId current;
       std::memcpy(&current, seg.map + off, 8);
       if (current == id) continue;
-      if (::pwrite(seg.fd, &id, 8, static_cast<off_t>(off)) != 8) {
+      if (ops_->PWrite(seg.fd, &id, 8, off) != 8) {
         return IOErrorFor("cannot patch template id", SegmentPath(si));
       }
     }
@@ -733,6 +771,14 @@ Status SegmentedDiskBackend::Clear() {
     std::remove(SegmentPath(i).c_str());
   }
   active_index_ = 0;
+  wal_scratch_.clear();
+  wal_replayed_ = 0;
+  if (wal_ != nullptr) {
+    // Fresh store, fresh log: the rotation deletes the old file,
+    // restarts at index 0 / sequence 0, and clears the WAL's sticky
+    // error along with ours.
+    BB_RETURN_IF_ERROR(wal_->Rotate(0, 0));
+  }
   BB_RETURN_IF_ERROR(WriteManifest());
   return OpenActiveFile();
 }
@@ -746,6 +792,25 @@ Status SegmentedDiskBackend::Checkpoint(std::string_view metadata) {
 std::shared_ptr<const SealedRecordView> SegmentedDiskBackend::SnapshotSealed()
     const {
   return std::make_shared<View>(sealed_, sealed_records_);
+}
+
+Status SegmentedDiskBackend::WaitDurable() {
+  // Called with NO topic lock held (see storage_backend.h); wal_ is set
+  // once at Open and the WriteAheadLog is internally synchronized.
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->WaitDurable();
+}
+
+uint64_t SegmentedDiskBackend::wal_bytes() const {
+  return wal_ != nullptr ? wal_->wal_bytes() : 0;
+}
+
+uint64_t SegmentedDiskBackend::wal_group_commits() const {
+  return wal_ != nullptr ? wal_->group_commits() : 0;
+}
+
+uint64_t SegmentedDiskBackend::wal_fsyncs() const {
+  return wal_ != nullptr ? wal_->fsyncs() : 0;
 }
 
 }  // namespace bytebrain

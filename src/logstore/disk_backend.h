@@ -8,9 +8,13 @@
 //   seg-000000.log ...  fixed-size segment files of record frames; the
 //                       file AFTER the last manifest entry is the
 //                       active (append) segment
+//   wal-NNNNNN.log      tail write-ahead log for the active segment
+//                       (StorageConfig::durability != kNone only; see
+//                       logstore/wal.h — rotated at every seal)
 //
-// Record frame (util/hashing.h RecordChecksum covers ts + text, NOT the
-// template id, which retraining rewrites in place):
+// Record frame (logstore/frame_format.h; util/hashing.h RecordChecksum
+// covers ts + text, NOT the template id, which retraining rewrites in
+// place):
 //   text_len u32 | timestamp u64 | template_id u64 | checksum u64 | text
 //
 // Sealed segments are immutable except for 8-byte template-id rewrites
@@ -31,6 +35,9 @@
 #include "logstore/storage_backend.h"
 
 namespace bytebrain {
+
+class FileOps;
+class WriteAheadLog;
 
 class SegmentedDiskBackend : public StorageBackend {
  public:
@@ -60,6 +67,11 @@ class SegmentedDiskBackend : public StorageBackend {
   bool persistent() const override { return true; }
   uint64_t sealed_segment_count() const override;
   uint64_t mapped_bytes() const override;
+  Status WaitDurable() override;
+  uint64_t wal_bytes() const override;
+  uint64_t wal_group_commits() const override;
+  uint64_t wal_fsyncs() const override;
+  uint64_t wal_replayed_records() const override { return wal_replayed_; }
 
  private:
   /// One sealed, mmap'd segment. Immutable after construction except
@@ -85,9 +97,14 @@ class SegmentedDiskBackend : public StorageBackend {
   std::string ManifestPath() const;
   uint64_t active_count() const { return active_offsets_.size(); }
   /// Shared core of Append/AppendBatch: mirrors one record, buffers its
-  /// frame while `*buffering`, runs the drain/seal checks; a failure
-  /// lands in `*error` (first one wins) and flips `*buffering` off.
+  /// frame while `*buffering` (into the write buffer AND the WAL
+  /// scratch when a WAL is configured), runs the drain/seal checks; a
+  /// failure lands in `*error` (first one wins) and flips `*buffering`
+  /// off.
   void AppendRecordLocked(LogRecord record, bool* buffering, Status* error);
+  /// Flushes wal_scratch_ (the current call's frames) to the WAL in one
+  /// write; a failure degrades sticky like a segment write failure.
+  void FlushWalScratchLocked(Status* error);
   /// Drains write_buffer_ to active_fd_ with plain write()s.
   Status FlushWriteBuffer();
   Status WriteManifest() const;
@@ -108,7 +125,22 @@ class SegmentedDiskBackend : public StorageBackend {
   void CloseActiveFile();
 
   StorageConfig config_;
+  /// Syscall shim for every data-path write/pwrite/fsync (fault
+  /// injection); RealFileOps() unless the config supplies one.
+  FileOps* ops_ = nullptr;
   bool opened_ = false;
+
+  /// Tail WAL (config_.durability != kNone): internally synchronized,
+  /// created at Open, rotated at every seal. wal_scratch_ stages the
+  /// current Append/AppendBatch call's frame bytes so the whole batch
+  /// reaches the WAL in one write; a seal mid-batch clears it (those
+  /// frames just became durable in the sealed segment). wal_replaying_
+  /// suppresses re-logging and mid-replay seals while recovered WAL
+  /// frames stream back through the normal append path.
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::string wal_scratch_;
+  bool wal_replaying_ = false;
+  uint64_t wal_replayed_ = 0;
 
   /// Sealed state, published as an immutable set (copy-on-seal).
   std::shared_ptr<const SealedSet> sealed_ = std::make_shared<SealedSet>();

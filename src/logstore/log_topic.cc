@@ -141,6 +141,24 @@ uint64_t LogTopic::AppendBatch(std::vector<LogRecord> records) {
   return first;
 }
 
+Status LogTopic::WaitDurable() {
+  StorageBackend* store;
+  {
+    // store_ never changes after construction (the memory fallback is
+    // installed in the constructor; RecoverFrom clears, not replaces),
+    // so the pointer can be used after mu_ is released — which it MUST
+    // be: the wait below may block on the WAL's group-commit fsync.
+    std::lock_guard<std::mutex> lock(mu_);
+    store = store_.get();
+  }
+  const Status durable = store->WaitDurable();
+  if (!durable.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (storage_status_.ok()) storage_status_ = durable;
+  }
+  return durable;
+}
+
 uint64_t LogTopic::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return store_->size();
@@ -215,6 +233,26 @@ uint64_t LogTopic::sealed_segment_count() const {
 uint64_t LogTopic::mapped_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return store_->mapped_bytes();
+}
+
+uint64_t LogTopic::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->wal_bytes();
+}
+
+uint64_t LogTopic::wal_group_commits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->wal_group_commits();
+}
+
+uint64_t LogTopic::wal_fsyncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->wal_fsyncs();
+}
+
+uint64_t LogTopic::wal_replayed_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->wal_replayed_records();
 }
 
 Status LogTopic::PersistTo(const std::string& path) const {

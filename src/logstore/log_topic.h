@@ -56,6 +56,17 @@ class LogTopic {
   /// high-throughput sibling of Append for the batched ingest path.
   uint64_t AppendBatch(std::vector<LogRecord> records);
 
+  /// Blocks until every record appended before this call is durable
+  /// (StorageConfig::durability == kWalGroupCommit; immediate OK for
+  /// every other configuration). Deliberately NOT under the topic
+  /// mutex — the backend's WAL is internally synchronized, and holding
+  /// mu_ through a group-commit fsync wait would serialize the very
+  /// batches the commit thread coalesces. A failure (fsync error) goes
+  /// sticky into storage_status(), same as an append-path IO error:
+  /// callers keep acknowledging from memory and surface the
+  /// degradation, they do not fail the request.
+  Status WaitDurable();
+
   /// Number of records appended so far.
   uint64_t size() const;
 
@@ -98,6 +109,12 @@ class LogTopic {
   /// Storage observability (TopicStats::storage).
   uint64_t sealed_segment_count() const;
   uint64_t mapped_bytes() const;
+
+  /// WAL observability (TopicStats::wal_*); zeros without a WAL.
+  uint64_t wal_bytes() const;
+  uint64_t wal_group_commits() const;
+  uint64_t wal_fsyncs() const;
+  uint64_t wal_replayed_records() const;
 
   /// Serializes all records to `path` (binary, checksummed) — a
   /// single-file snapshot independent of the backend.

@@ -14,7 +14,11 @@
 // every call under its own mutex; the only state that may be read
 // without it is a SealedRecordView, which is immutable by construction
 // (sealed segments never change after sealing and the view keeps them
-// alive via shared ownership).
+// alive via shared ownership). Two exceptions, both internally
+// synchronized so callers run them with NO topic lock held:
+// WaitDurable() (holding the lock through a group-commit fsync wait
+// would serialize the batches it exists to coalesce) and the wal_*
+// stat reads it shares state with (logstore/wal.h).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +32,24 @@
 #include "util/status.h"
 
 namespace bytebrain {
+
+class FileOps;  // fault_injection.h
+
+/// What "acknowledged" means for an append (kSegmentedDisk only; see
+/// logstore/wal.h and ARCHITECTURE.md §Durability).
+enum class DurabilityMode : uint32_t {
+  /// Buffered segment writes, fsync at seal/checkpoint — a crash loses
+  /// the unflushed tail (PR 4 behavior; the fastest mode).
+  kNone = 0,
+  /// Every batch's frames are also written to a write-ahead log; a
+  /// background thread fsyncs it continuously but acks never wait. A
+  /// crash loses at most the bytes between the last background fsync
+  /// and the crash.
+  kWalAsync = 1,
+  /// As kWalAsync, plus each batch blocks until a group-commit fsync
+  /// covers its frames: acknowledged ⇒ durable.
+  kWalGroupCommit = 2,
+};
 
 /// Storage selection for one topic.
 struct StorageConfig {
@@ -45,6 +67,13 @@ struct StorageConfig {
   uint64_t segment_data_bytes = 8ull * 1024 * 1024;
   /// Records per in-memory segment (kMemory only; scan locality knob).
   size_t memory_segment_capacity = 65536;
+  /// Tail durability (kSegmentedDisk only; ignored for kMemory).
+  DurabilityMode durability = DurabilityMode::kNone;
+  /// Syscall shim for the storage data path (write/pwrite/fsync).
+  /// nullptr means real syscalls; tests point it at a
+  /// FaultInjectingFileOps (fault_injection.h). Not owned; must outlive
+  /// the backend.
+  FileOps* file_ops = nullptr;
 };
 
 /// An immutable snapshot of the records that were SEALED at snapshot
@@ -154,9 +183,23 @@ class StorageBackend {
   /// True when records survive process restarts.
   virtual bool persistent() const = 0;
 
+  /// Blocks until every record appended before this call is durable
+  /// (DurabilityMode::kWalGroupCommit); immediate OK for every other
+  /// mode/backend. EXCEPTION to the threading contract: called with NO
+  /// external lock held — the WAL underneath is internally
+  /// synchronized, and holding the topic lock through the fsync wait
+  /// would serialize the batches group commit coalesces.
+  virtual Status WaitDurable() { return Status::OK(); }
+
   /// Observability (TopicStats::storage); zeros for volatile backends.
   virtual uint64_t sealed_segment_count() const { return 0; }
   virtual uint64_t mapped_bytes() const { return 0; }
+  /// WAL observability (TopicStats::wal_*); zeros when no WAL is
+  /// configured. Like WaitDurable, safe to call without the topic lock.
+  virtual uint64_t wal_bytes() const { return 0; }
+  virtual uint64_t wal_group_commits() const { return 0; }
+  virtual uint64_t wal_fsyncs() const { return 0; }
+  virtual uint64_t wal_replayed_records() const { return 0; }
 };
 
 /// The original in-memory store: fixed-capacity segments of LogRecords.

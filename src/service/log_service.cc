@@ -41,6 +41,15 @@ Status ValidateTopicKnobs(const TopicConfig& config) {
   }
   return Status::OK();
 }
+
+// TopicConfig::durability is the single wire-visible durability knob;
+// fold it into the StorageConfig the LogTopic actually receives
+// (StorageConfig::durability is ignored at this layer otherwise).
+StorageConfig EffectiveStorage(const TopicConfig& config) {
+  StorageConfig storage = config.storage;
+  storage.durability = config.durability;
+  return storage;
+}
 }  // namespace
 
 Status ValidateTopicConfig(const TopicConfig& config) {
@@ -53,6 +62,11 @@ Status ValidateTopicConfig(const TopicConfig& config) {
   if (config.storage.kind == StorageConfig::Kind::kSegmentedDisk &&
       config.storage.segment_data_bytes == 0) {
     return Status::InvalidArgument("storage.segment_data_bytes must be > 0");
+  }
+  if (config.durability != DurabilityMode::kNone &&
+      config.storage.kind != StorageConfig::Kind::kSegmentedDisk) {
+    return Status::InvalidArgument(
+        "durability requires kSegmentedDisk storage");
   }
   for (const auto& [rule_name, pattern] : config.variable_rules) {
     if (rule_name.empty()) {
@@ -70,7 +84,7 @@ Status ValidateTopicConfig(const TopicConfig& config) {
 ManagedTopic::ManagedTopic(std::string name, TopicConfig config)
     : name_(std::move(name)),
       config_(std::move(config)),
-      topic_(name_, config_.storage),
+      topic_(name_, EffectiveStorage(config_)),
       parser_(config_.parser_options) {
   const int num_shards = std::clamp(config_.num_ingest_shards, 1, 64);
   shards_.reserve(num_shards);
@@ -178,6 +192,12 @@ Result<uint64_t> ManagedTopic::Ingest(std::string text,
   auto result =
       IngestOneLocked(std::move(text), timestamp_us, kInvalidTemplateId);
   lock.unlock();
+  // Group-commit durability wait, deliberately off-lock (the WAL commit
+  // thread coalesces concurrent waiters into one fsync; holding mu_
+  // here would serialize them). A failure went sticky into
+  // storage_status() inside WaitDurable — the ack still stands
+  // (fail-soft, same as an append IO error), so the result is ignored.
+  (void)topic_.WaitDurable();
   MaybeFlushStorageCheckpoint();
   return result;
 }
@@ -298,6 +318,10 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchUnsharded(
     seqs.push_back(seq.value());
   }
   lock.unlock();
+  // Off-lock group-commit wait: one amortized fsync covers this batch
+  // (and any concurrent ones). Failure degrades sticky, never fails the
+  // batch — see Ingest.
+  (void)topic_.WaitDurable();
   MaybeFlushStorageCheckpoint();
   return seqs;
 }
@@ -522,6 +546,7 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
       seqs.push_back(seq.value());
     }
     lock.unlock();
+    (void)topic_.WaitDurable();
     MaybeFlushStorageCheckpoint();
     return seqs;
   }
@@ -553,6 +578,9 @@ Result<std::vector<uint64_t>> ManagedTopic::IngestBatchSharded(
   records_since_training_ += texts.size();
   BB_RETURN_IF_ERROR(MaybeTrainLocked());
   lock.unlock();
+  // Off-lock group-commit wait (see Ingest): sharded batches from
+  // concurrent callers coalesce into one WAL fsync here.
+  (void)topic_.WaitDurable();
   MaybeFlushStorageCheckpoint();
   return seqs;
 }
@@ -1065,6 +1093,10 @@ TopicStats ManagedTopic::stats() const {
   snapshot.storage_ok = topic_.storage_status().ok();
   snapshot.storage_sealed_segments = topic_.sealed_segment_count();
   snapshot.storage_mapped_bytes = topic_.mapped_bytes();
+  snapshot.wal_bytes = topic_.wal_bytes();
+  snapshot.wal_group_commits = topic_.wal_group_commits();
+  snapshot.wal_fsyncs = topic_.wal_fsyncs();
+  snapshot.wal_replayed_records = topic_.wal_replayed_records();
   snapshot.shards.reserve(shards_.size());
   for (const std::unique_ptr<IngestShard>& shard : shards_) {
     // Shard counters are written under the shard's exclusive lock while

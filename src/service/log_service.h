@@ -57,6 +57,20 @@ struct TopicConfig {
   /// surfaced through LogTopic::storage_status() /
   /// LogService::CreateTopic.
   StorageConfig storage;
+  /// Tail durability for a disk-backed topic (requires storage.kind ==
+  /// kSegmentedDisk when != kNone; see logstore/wal.h and
+  /// ARCHITECTURE.md §Durability):
+  ///   kNone           — PR 4 behavior: a crash loses the unflushed tail.
+  ///   kWalAsync       — frames also hit a write-ahead log fsynced by a
+  ///                     background thread; acks never wait.
+  ///   kWalGroupCommit — each batch blocks for one amortized group-commit
+  ///                     fsync: acknowledged ⇒ durable. A WAL fsync
+  ///                     failure degrades sticky (TopicStats::storage_ok
+  ///                     flips false), it does not fail requests.
+  /// Copied into storage.durability at topic construction; the
+  /// storage.durability field itself is ignored here so wire configs
+  /// have exactly one durability knob.
+  DurabilityMode durability = DurabilityMode::kNone;
   /// Threads for matching/training (paper: 1-5 cores per topic).
   int num_threads = 2;
   /// Ingest shards for IngestBatch (clamped to [1, 64]). 1 keeps the
@@ -206,6 +220,17 @@ struct TopicStats {
   /// cost no longer scales with max_train_records.
   uint64_t last_snapshot_copied_records = 0;
   uint64_t last_snapshot_mapped_records = 0;
+  // --- write-ahead log (TopicConfig::durability != kNone only) ---
+  /// Frame bytes appended to the tail WAL since the last seal/rotation.
+  uint64_t wal_bytes = 0;
+  /// Acknowledged group-commit waits (each one covered by some fsync);
+  /// group_commits / fsyncs is the amortization ratio under load.
+  uint64_t wal_group_commits = 0;
+  /// WAL fsyncs issued by the commit thread.
+  uint64_t wal_fsyncs = 0;
+  /// Records replayed from the WAL (beyond the segment file's own tail)
+  /// when the topic was (re)opened.
+  uint64_t wal_replayed_records = 0;
 };
 
 /// Anomaly report comparing two ingestion windows (§1, §6: count-change

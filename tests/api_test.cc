@@ -140,6 +140,7 @@ TEST(ApiMessagesTest, CreateTopicRoundTripCarriesConfig) {
   req.config.storage.directory = "/tmp/x";
   req.config.storage.segment_data_bytes = 777;
   req.config.storage.memory_segment_capacity = 888;
+  req.config.durability = DurabilityMode::kWalGroupCommit;
   req.config.variable_rules = {{"hex", "0x[0-9a-f]+"}, {"num", "[0-9]+"}};
 
   CreateTopicRequest got;
@@ -157,7 +158,19 @@ TEST(ApiMessagesTest, CreateTopicRoundTripCarriesConfig) {
   EXPECT_EQ(got.config.storage.directory, "/tmp/x");
   EXPECT_EQ(got.config.storage.segment_data_bytes, 777u);
   EXPECT_EQ(got.config.storage.memory_segment_capacity, 888u);
+  EXPECT_EQ(got.config.durability, DurabilityMode::kWalGroupCommit);
   EXPECT_EQ(got.config.variable_rules, req.config.variable_rules);
+}
+
+TEST(ApiMessagesTest, UnknownDurabilityModeIsRejected) {
+  TopicConfig config;
+  config.durability = static_cast<DurabilityMode>(9);
+  std::string bytes;
+  EncodeTopicConfig(config, &bytes);
+  TopicConfig got;
+  const Status decoded = DecodeTopicConfig(bytes, &got);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.IsInvalidArgument());
 }
 
 TEST(ApiMessagesTest, PatchRoundTripPreservesAbsence) {
@@ -264,6 +277,16 @@ TEST(ApiMessagesTest, QueryAndStatsAndAnomalyRoundTrip) {
   s.stats.shards.resize(2);
   s.stats.shards[1].records = 42;
   s.stats.shards[1].memo_hits = 7;
+  s.stats.wal_bytes = 4096;
+  s.stats.wal_group_commits = 10;
+  s.stats.wal_fsyncs = 3;
+  s.stats.wal_replayed_records = 5;
+  s.tenant.admitted_requests = 100;
+  s.tenant.denied_requests = 4;
+  s.tenant.admitted_bytes = 5000;
+  s.tenant.denied_bytes = 200;
+  s.tenant.admitted_records = 120;
+  s.tenant.denied_records = 6;
   GetStatsResponse s2;
   ASSERT_TRUE(s2.DecodeFrom(Encode(s)).ok());
   EXPECT_EQ(s2.stats.ingested_records, 1u);
@@ -274,6 +297,16 @@ TEST(ApiMessagesTest, QueryAndStatsAndAnomalyRoundTrip) {
   ASSERT_EQ(s2.stats.shards.size(), 2u);
   EXPECT_EQ(s2.stats.shards[1].records, 42u);
   EXPECT_EQ(s2.stats.shards[1].memo_hits, 7u);
+  EXPECT_EQ(s2.stats.wal_bytes, 4096u);
+  EXPECT_EQ(s2.stats.wal_group_commits, 10u);
+  EXPECT_EQ(s2.stats.wal_fsyncs, 3u);
+  EXPECT_EQ(s2.stats.wal_replayed_records, 5u);
+  EXPECT_EQ(s2.tenant.admitted_requests, 100u);
+  EXPECT_EQ(s2.tenant.denied_requests, 4u);
+  EXPECT_EQ(s2.tenant.admitted_bytes, 5000u);
+  EXPECT_EQ(s2.tenant.denied_bytes, 200u);
+  EXPECT_EQ(s2.tenant.admitted_records, 120u);
+  EXPECT_EQ(s2.tenant.denied_records, 6u);
 
   DetectAnomaliesRequest ar;
   ar.topic = "t";
@@ -796,6 +829,70 @@ TEST(ApiFrontendTest, RateQuotaDeniesWithRetryHintAndRecovers) {
   EXPECT_TRUE(IngestTexts(frontend, "globex", "t", {SshLog(1)}).ok());
 }
 
+TEST(ApiFrontendTest, TenantMeterCountsAdmittedAndDenied) {
+  uint64_t fake_now_us = 1'000'000;
+  FrontendConfig config;
+  config.max_ingest_records_per_sec = 1000;
+  config.burst_seconds = 1.0;  // capacity: 1000 records
+  config.clock_us = [&fake_now_us] { return fake_now_us; };
+  ServiceFrontend frontend(config);
+  ASSERT_TRUE(CreateSmallTopic(frontend, "acme", "t").ok());
+
+  std::vector<std::string> batch;
+  uint64_t batch_bytes = 0;
+  for (int i = 0; i < 800; ++i) {
+    batch.push_back(SshLog(i));
+    batch_bytes += batch.back().size();
+  }
+  ASSERT_TRUE(IngestTexts(frontend, "acme", "t", batch).ok());
+  uint64_t retry_after_us = 0;
+  ASSERT_TRUE(IngestTexts(frontend, "acme", "t", batch, &retry_after_us)
+                  .IsResourceExhausted());
+
+  GetStatsRequest stats_req;
+  stats_req.topic = "t";
+  GetStatsResponse stats;
+  ASSERT_TRUE(frontend.GetStats("acme", stats_req, &stats).ok());
+  EXPECT_EQ(stats.tenant.admitted_requests, 1u);
+  EXPECT_EQ(stats.tenant.admitted_records, 800u);
+  EXPECT_EQ(stats.tenant.admitted_bytes, batch_bytes);
+  // The denial was counted — and consumed nothing (denied, not lost).
+  EXPECT_EQ(stats.tenant.denied_requests, 1u);
+  EXPECT_EQ(stats.tenant.denied_records, 800u);
+  EXPECT_EQ(stats.tenant.denied_bytes, batch_bytes);
+
+  // The meter is tenant-wide: another tenant starts from zero.
+  ASSERT_TRUE(CreateSmallTopic(frontend, "globex", "t").ok());
+  GetStatsResponse other;
+  ASSERT_TRUE(frontend.GetStats("globex", stats_req, &other).ok());
+  EXPECT_EQ(other.tenant.admitted_requests, 0u);
+  EXPECT_EQ(other.tenant.denied_requests, 0u);
+}
+
+TEST(ApiFrontendTest, TenantMeterCountsEvenWithoutRateLimits) {
+  // Unlimited rates skip the token buckets entirely — the meter must
+  // still record usage.
+  ServiceFrontend frontend;
+  ASSERT_TRUE(CreateSmallTopic(frontend, "acme", "t").ok());
+  ASSERT_TRUE(
+      IngestTexts(frontend, "acme", "t", {SshLog(1), SshLog(2)}).ok());
+  IngestRequest one;
+  one.topic = "t";
+  one.text = SshLog(3);
+  IngestResponse one_resp;
+  ASSERT_TRUE(frontend.Ingest("acme", one, &one_resp).ok());
+
+  GetStatsRequest stats_req;
+  stats_req.topic = "t";
+  GetStatsResponse stats;
+  ASSERT_TRUE(frontend.GetStats("acme", stats_req, &stats).ok());
+  EXPECT_EQ(stats.tenant.admitted_requests, 2u);
+  EXPECT_EQ(stats.tenant.admitted_records, 3u);
+  EXPECT_EQ(stats.tenant.admitted_bytes,
+            SshLog(1).size() + SshLog(2).size() + SshLog(3).size());
+  EXPECT_EQ(stats.tenant.denied_requests, 0u);
+}
+
 TEST(ApiFrontendTest, OversizedBatchAdmittedOnlyAgainstFullBucket) {
   uint64_t fake_now_us = 1'000'000;
   FrontendConfig config;
@@ -847,6 +944,14 @@ TEST(ApiFrontendTest, InflightBatchCapRefusesConcurrentBatch) {
   // The slot was released: the next batch sails through (its own probe
   // is suppressed by the reentered flag).
   EXPECT_TRUE(IngestTexts(frontend, "acme", "t", {SshLog(1)}).ok());
+  // The cap rejection was metered as a denial like a rate-limit one.
+  GetStatsRequest stats_req;
+  stats_req.topic = "t";
+  GetStatsResponse stats;
+  ASSERT_TRUE(frontend.GetStats("acme", stats_req, &stats).ok());
+  EXPECT_EQ(stats.tenant.denied_requests, 1u);
+  EXPECT_EQ(stats.tenant.denied_records, 1u);
+  EXPECT_EQ(stats.tenant.admitted_requests, 2u);
 }
 
 // ---------------------------------------------------------------------
@@ -883,6 +988,12 @@ TEST(ApiFrontendTest, CreateTopicValidatesConfigUpFront) {
   s = frontend.CreateTopic("acme", req, &resp);
   ASSERT_TRUE(s.IsInvalidArgument());
   EXPECT_NE(s.message().find("storage.directory"), std::string::npos);
+
+  req.config = SmallConfig();  // kMemory storage
+  req.config.durability = DurabilityMode::kWalGroupCommit;
+  s = frontend.CreateTopic("acme", req, &resp);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("durability"), std::string::npos);
 
   // None of the rejected creates consumed the name or a quota slot.
   req.config = SmallConfig();
