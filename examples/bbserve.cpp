@@ -1,0 +1,249 @@
+// bbserve — the bytebrain service as a process: serve a TCP port, or
+// load-generate against one.
+//
+//   ./bbserve serve [port] [--auth tenant=token,...]
+//       Mounts a ServiceFrontend behind the epoll TCP server and
+//       prints "LISTENING <port>" once accepting (port 0 = ephemeral,
+//       the default). Runs until SIGINT/SIGTERM.
+//
+//   ./bbserve loadgen <port> [tenants] [connections] [batches]
+//                     [batch_size] [--auth token]
+//       N tenants × M connections of pipelined IngestBatch traffic,
+//       then a wire GetStats per tenant. Prints per-tenant admitted
+//       counts and aggregate logs/s; exits nonzero unless every tenant
+//       shows admitted records — the CI e2e gate.
+//
+// Example session (two shells):
+//   $ ./bbserve serve 7070
+//   LISTENING 7070
+//   $ ./bbserve loadgen 7070 4 16 8 1024
+//   tenant0: admitted 32768 records
+//   ...
+//   TOTAL 131072 records in 0.21s (620k logs/s)
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/frontend.h"
+#include "api/messages.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
+
+using namespace bytebrain;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+std::atomic<int> g_sig{0};
+void OnSignal(int sig) {
+  g_sig.store(sig);
+  g_stop.store(true);
+}
+
+std::string LoadgenLog(int i) {
+  return "Accepted password for user" + std::to_string(i % 50) +
+         " from 10.0." + std::to_string(i % 17) + "." +
+         std::to_string(i % 9 + 1) + " port " + std::to_string(40000 + i) +
+         " ssh2";
+}
+
+/// "--auth a=x,b=y" -> {{a,x},{b,y}}; empty on parse failure.
+std::map<std::string, std::string, std::less<>> ParseTokens(
+    const std::string& spec) {
+  std::map<std::string, std::string, std::less<>> tokens;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string pair = spec.substr(start, comma - start);
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) return {};
+    tokens[pair.substr(0, eq)] = pair.substr(eq + 1);
+    start = comma + 1;
+  }
+  return tokens;
+}
+
+int Serve(int argc, char** argv) {
+  net::TcpServerConfig server_config;
+  api::FrontendConfig frontend_config;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--auth") == 0 && i + 1 < argc) {
+      frontend_config.tenant_tokens = ParseTokens(argv[++i]);
+      if (frontend_config.tenant_tokens.empty()) {
+        std::fprintf(stderr, "bad --auth spec (want tenant=token,...)\n");
+        return 2;
+      }
+    } else {
+      server_config.port = static_cast<uint16_t>(std::atoi(argv[i]));
+    }
+  }
+
+  api::ServiceFrontend frontend(frontend_config);
+  net::TcpServer server(&frontend, server_config);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  // Foreground semantics: run until SIGINT/SIGTERM (the CI harness
+  // starts us with `&` and kills us when the loadgen is done).
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Shutdown();
+  const net::TcpServerStats stats = server.stats();
+  std::fprintf(stderr, "stopping on signal %d\n", g_sig.load());
+  std::fprintf(stderr, "served %llu frames over %llu connections\n",
+               static_cast<unsigned long long>(stats.frames_dispatched),
+               static_cast<unsigned long long>(stats.connections_accepted));
+  return 0;
+}
+
+int Loadgen(int argc, char** argv) {
+  if (argc < 3) return 2;
+  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[2]));
+  int tenants = argc > 3 ? std::atoi(argv[3]) : 4;
+  int connections = argc > 4 ? std::atoi(argv[4]) : 16;
+  int batches = argc > 5 ? std::atoi(argv[5]) : 8;
+  int batch_size = argc > 6 ? std::atoi(argv[6]) : 1024;
+  std::string auth_token;
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--auth") == 0) auth_token = argv[i + 1];
+  }
+  if (tenants < 1 || connections < tenants || batches < 1 || batch_size < 1) {
+    std::fprintf(stderr, "bad loadgen shape\n");
+    return 2;
+  }
+
+  // Topic per tenant (idempotent: AlreadyExists is fine on reruns).
+  for (int t = 0; t < tenants; ++t) {
+    net::NetClient client;
+    if (!client.Connect("127.0.0.1", port).ok()) {
+      std::fprintf(stderr, "connect failed\n");
+      return 1;
+    }
+    client.set_auth_token(auth_token);
+    api::CreateTopicRequest req;
+    req.name = "t";
+    req.config.initial_train_records = 2000;
+    req.config.train_interval_records = 1u << 30;
+    req.config.num_threads = 1;
+    req.config.async_training = false;
+    api::CreateTopicResponse resp;
+    const Status s = client.Call(api::ApiMethod::kCreateTopic,
+                                 "tenant" + std::to_string(t), req, &resp);
+    if (!s.ok() && !s.IsAlreadyExists()) {
+      std::fprintf(stderr, "create topic: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<uint64_t> sent_records{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      net::NetClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      client.set_auth_token(auth_token);
+      const std::string tenant = "tenant" + std::to_string(c % tenants);
+      api::IngestBatchRequest batch;
+      batch.topic = "t";
+      for (int i = 0; i < batch_size; ++i) {
+        batch.texts.push_back(LoadgenLog(c * 7919 + i));
+      }
+      constexpr int kWindow = 4;
+      int sent = 0;
+      int received = 0;
+      while (received < batches) {
+        while (sent < batches && sent - received < kWindow) {
+          if (!client
+                   .SendRequest(api::ApiMethod::kIngestBatch, tenant, batch)
+                   .ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          ++sent;
+        }
+        api::IngestBatchResponse resp;
+        const Status s = client.ReadResponse(&resp);
+        if (s.IsIOError()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (s.ok()) sent_records.fetch_add(resp.seqs.size());
+        ++received;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+  // The gate: every tenant must SHOW admitted records via wire
+  // GetStats — the server-side meter, not the client's own counting.
+  bool all_admitted = true;
+  uint64_t total_admitted = 0;
+  for (int t = 0; t < tenants; ++t) {
+    net::NetClient client;
+    if (!client.Connect("127.0.0.1", port).ok()) return 1;
+    client.set_auth_token(auth_token);
+    api::GetStatsRequest req;
+    req.topic = "t";
+    api::GetStatsResponse resp;
+    const Status s = client.Call(api::ApiMethod::kGetStats,
+                                 "tenant" + std::to_string(t), req, &resp);
+    if (!s.ok()) {
+      std::fprintf(stderr, "GetStats: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("tenant%d: admitted %llu records (%llu requests)\n", t,
+                static_cast<unsigned long long>(resp.tenant.admitted_records),
+                static_cast<unsigned long long>(
+                    resp.tenant.admitted_requests));
+    total_admitted += resp.tenant.admitted_records;
+    if (resp.tenant.admitted_records == 0) all_admitted = false;
+  }
+  std::printf("TOTAL %llu records in %.2fs (%.0fk logs/s), %d failures\n",
+              static_cast<unsigned long long>(total_admitted), secs,
+              static_cast<double>(sent_records.load()) / secs / 1000.0,
+              failures.load());
+  return (all_admitted && failures.load() == 0) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    return Serve(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "loadgen") == 0) {
+    return Loadgen(argc, argv);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s serve [port] [--auth tenant=token,...]\n"
+               "  %s loadgen <port> [tenants] [connections] [batches] "
+               "[batch_size] [--auth token]\n",
+               argv[0], argv[0]);
+  return 2;
+}

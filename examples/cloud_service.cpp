@@ -2,8 +2,8 @@
 // ServiceFrontend serving two tenants with per-tenant admission
 // control, topic lifecycle (create / update / delete), batched ingest,
 // paginated queries with the precision slider, and one request driven
-// through the wire-level Dispatch entry point — the paper's §3
-// architecture behind the typed boundary a transport would mount.
+// over a real TCP socket (net::TcpServer in front of Dispatch) — the
+// paper's §3 architecture behind the typed boundary, transport mounted.
 //
 //   ./examples/cloud_service
 #include <cstdio>
@@ -13,6 +13,8 @@
 #include "api/frontend.h"
 #include "api/messages.h"
 #include "datagen/generator.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
 #include "util/string_util.h"
 
 using namespace bytebrain;
@@ -127,19 +129,35 @@ int main() {
   api::UpdateTopicConfigResponse updated;
   if (!frontend.UpdateTopicConfig("acme", update, &updated).ok()) return 1;
 
-  // A shape never seen in training, pushed through the WIRE path:
-  // encode a request envelope, Dispatch bytes, decode the response —
-  // exactly what a TCP/RPC transport would do.
+  // A shape never seen in training, pushed through the WIRE path — a
+  // real socket this time: mount the frontend behind the epoll TCP
+  // server on an ephemeral loopback port, connect a NetClient, and
+  // drive the envelope over TCP. The typed API above keeps working on
+  // the same frontend while the server runs.
+  net::TcpServer server(&frontend);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+  net::NetClient client;
+  if (!client.Connect("127.0.0.1", server.port()).ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
   api::IngestRequest novel;
   novel.topic = "access-logs";
   novel.text = "EMERGENCY certificate rotation forced by operator";
-  const std::string response_bytes = frontend.Dispatch(
-      api::EncodeRequest(api::ApiMethod::kIngest, "acme", novel));
   api::IngestResponse novel_resp;
-  if (!api::DecodeResponse(response_bytes, &novel_resp).ok()) {
+  if (!client.Call(api::ApiMethod::kIngest, "acme", novel, &novel_resp)
+           .ok()) {
     std::fprintf(stderr, "wire ingest failed\n");
     return 1;
   }
+  std::printf("wire ingest over 127.0.0.1:%u ok (seq %llu)\n\n",
+              static_cast<unsigned>(server.port()),
+              static_cast<unsigned long long>(novel_resp.seq));
+  client.Close();
+  server.Shutdown();
 
   // Each tenant sees exactly its own catalog.
   for (const std::string& tenant :

@@ -109,26 +109,55 @@ struct QueryCursor {
 };
 
 /// Dispatch glue: decode the method's request, run it, encode one
-/// response envelope (payload encoded in place — see EncodeResponse).
+/// response envelope (payload encoded in place — see EncodeResponse)
+/// echoing `request_id`, and report the outcome through `info`.
 /// `call(req, resp, retry_after_us)` is the bound typed method.
 template <typename Req, typename Resp, typename Call>
-std::string RunDispatch(std::string_view payload, Call&& call) {
+std::string RunDispatch(std::string_view payload, uint64_t request_id,
+                        ServiceFrontend::DispatchInfo* info, Call&& call) {
   Req req;
   Resp resp;
   uint64_t retry = 0;
   Status s = req.DecodeFrom(payload);
   if (s.ok()) s = call(std::move(req), &resp, &retry);
-  return EncodeResponse(s, retry, &resp);
+  if (info != nullptr) {
+    info->code = s.code();
+    info->retry_after_us = retry;
+    info->request_id = request_id;
+  }
+  return EncodeResponse(s, retry, &resp, request_id);
 }
 
-std::string EncodeErrorResponse(Status status) {
-  return EncodeResponse<ListTopicsResponse>(status, 0, nullptr);
+std::string EncodeErrorResponse(Status status, uint64_t request_id = 0,
+                                ServiceFrontend::DispatchInfo* info = nullptr) {
+  if (info != nullptr) {
+    info->code = status.code();
+    info->retry_after_us = 0;
+    info->request_id = request_id;
+  }
+  return EncodeResponse<ListTopicsResponse>(status, 0, nullptr, request_id);
 }
 
 }  // namespace
 
+Status StaticTokenAuthenticator::Authenticate(std::string_view tenant,
+                                              std::string_view token) const {
+  const auto it = tokens_.find(tenant);
+  // Unknown tenant and wrong token are deliberately the same constant
+  // error: the token table's contents must not be probeable.
+  if (it == tokens_.end() || it->second != token) {
+    return Status::PermissionDenied("invalid tenant or auth token");
+  }
+  return Status::OK();
+}
+
 ServiceFrontend::ServiceFrontend(FrontendConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)) {
+  auth_ = config_.authenticator;
+  if (auth_ == nullptr && !config_.tenant_tokens.empty()) {
+    auth_ = std::make_shared<StaticTokenAuthenticator>(config_.tenant_tokens);
+  }
+}
 
 uint64_t ServiceFrontend::NowUs() const {
   if (config_.clock_us) return config_.clock_us();
@@ -504,43 +533,51 @@ Status ServiceFrontend::DetectAnomalies(std::string_view tenant,
   return Status::OK();
 }
 
-std::string ServiceFrontend::Dispatch(std::string_view request_bytes) {
+std::string ServiceFrontend::Dispatch(std::string_view request_bytes,
+                                      DispatchInfo* info) {
   // View-parse the envelope: tenant and payload stay in the caller's
   // buffer (alive for the whole call), so a batch is never copied at
   // the envelope layer.
   RequestEnvelopeView env;
   const Status decoded = env.DecodeFrom(request_bytes);
-  if (!decoded.ok()) return EncodeErrorResponse(decoded);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded, 0, info);
   const std::string_view tenant = env.tenant;
+  const uint64_t rid = env.request_id;
+  // Authentication gates EVERYTHING below — including admission
+  // accounting: a rejected request must not consume tokens, hold an
+  // in-flight slot, or move the tenant meter.
+  if (auth_ != nullptr) {
+    const Status authed = auth_->Authenticate(tenant, env.auth_token);
+    if (!authed.ok()) return EncodeErrorResponse(authed, rid, info);
+  }
   try {
     switch (env.method) {
       case ApiMethod::kCreateTopic:
         return RunDispatch<CreateTopicRequest, CreateTopicResponse>(
-            env.payload, [&](CreateTopicRequest req, CreateTopicResponse* resp,
-                             uint64_t*) {
+            env.payload, rid, info,
+            [&](CreateTopicRequest req, CreateTopicResponse* resp, uint64_t*) {
               return CreateTopic(tenant, req, resp);
             });
       case ApiMethod::kUpdateTopicConfig:
         return RunDispatch<UpdateTopicConfigRequest, UpdateTopicConfigResponse>(
-            env.payload, [&](UpdateTopicConfigRequest req,
-                             UpdateTopicConfigResponse* resp, uint64_t*) {
-              return UpdateTopicConfig(tenant, req, resp);
-            });
+            env.payload, rid, info,
+            [&](UpdateTopicConfigRequest req, UpdateTopicConfigResponse* resp,
+                uint64_t*) { return UpdateTopicConfig(tenant, req, resp); });
       case ApiMethod::kDeleteTopic:
         return RunDispatch<DeleteTopicRequest, DeleteTopicResponse>(
-            env.payload, [&](DeleteTopicRequest req, DeleteTopicResponse* resp,
-                             uint64_t*) {
+            env.payload, rid, info,
+            [&](DeleteTopicRequest req, DeleteTopicResponse* resp, uint64_t*) {
               return DeleteTopic(tenant, req, resp);
             });
       case ApiMethod::kListTopics:
         return RunDispatch<ListTopicsRequest, ListTopicsResponse>(
-            env.payload, [&](ListTopicsRequest req, ListTopicsResponse* resp,
-                             uint64_t*) {
+            env.payload, rid, info,
+            [&](ListTopicsRequest req, ListTopicsResponse* resp, uint64_t*) {
               return ListTopics(tenant, req, resp);
             });
       case ApiMethod::kIngest:
         return RunDispatch<IngestRequest, IngestResponse>(
-            env.payload,
+            env.payload, rid, info,
             [&](IngestRequest req, IngestResponse* resp, uint64_t* retry) {
               return Ingest(tenant, std::move(req), resp, retry);
             });
@@ -549,47 +586,50 @@ std::string ServiceFrontend::Dispatch(std::string_view request_bytes) {
         // request_bytes and handed to the view IngestBatch — record
         // bytes are copied exactly once, at append.
         return RunDispatch<IngestBatchRequestView, IngestBatchResponse>(
-            env.payload, [&](IngestBatchRequestView req,
-                             IngestBatchResponse* resp, uint64_t* retry) {
+            env.payload, rid, info,
+            [&](IngestBatchRequestView req, IngestBatchResponse* resp,
+                uint64_t* retry) {
               return IngestBatchViews(tenant, req, resp, retry);
             });
       case ApiMethod::kQuery:
         return RunDispatch<QueryRequest, QueryResponse>(
-            env.payload,
+            env.payload, rid, info,
             [&](QueryRequest req, QueryResponse* resp, uint64_t*) {
               return Query(tenant, req, resp);
             });
       case ApiMethod::kGetStats:
         return RunDispatch<GetStatsRequest, GetStatsResponse>(
-            env.payload,
+            env.payload, rid, info,
             [&](GetStatsRequest req, GetStatsResponse* resp, uint64_t*) {
               return GetStats(tenant, req, resp);
             });
       case ApiMethod::kTrainNow:
         return RunDispatch<TrainNowRequest, TrainNowResponse>(
-            env.payload,
+            env.payload, rid, info,
             [&](TrainNowRequest req, TrainNowResponse* resp, uint64_t*) {
               return TrainNow(tenant, req, resp);
             });
       case ApiMethod::kDetectAnomalies:
         return RunDispatch<DetectAnomaliesRequest, DetectAnomaliesResponse>(
-            env.payload, [&](DetectAnomaliesRequest req,
-                             DetectAnomaliesResponse* resp, uint64_t*) {
-              return DetectAnomalies(tenant, req, resp);
-            });
+            env.payload, rid, info,
+            [&](DetectAnomaliesRequest req, DetectAnomaliesResponse* resp,
+                uint64_t*) { return DetectAnomalies(tenant, req, resp); });
       case ApiMethod::kUnknown:
         break;
     }
-    return EncodeErrorResponse(Status::NotSupported(
-        "unknown api method " +
-        std::to_string(static_cast<uint32_t>(env.method))));
+    return EncodeErrorResponse(
+        Status::NotSupported(
+            "unknown api method " +
+            std::to_string(static_cast<uint32_t>(env.method))),
+        rid, info);
   } catch (const std::exception& e) {
     // The transport contract: bytes in, bytes out, never a crash or an
     // escaped exception (e.g. allocation failure mid-operation).
     return EncodeErrorResponse(
-        Status::Aborted(std::string("dispatch failed: ") + e.what()));
+        Status::Aborted(std::string("dispatch failed: ") + e.what()), rid,
+        info);
   } catch (...) {
-    return EncodeErrorResponse(Status::Aborted("dispatch failed"));
+    return EncodeErrorResponse(Status::Aborted("dispatch failed"), rid, info);
   }
 }
 

@@ -41,6 +41,37 @@
 namespace bytebrain {
 namespace api {
 
+/// Pluggable per-request authentication for the WIRE boundary
+/// (Dispatch). Authenticate is called with the envelope's tenant and
+/// auth_token BEFORE the request is routed — and therefore before any
+/// admission accounting: a rejected request consumes no tokens, holds
+/// no in-flight slot, and never touches the tenant meter. Must be
+/// thread-safe (called concurrently from every transport thread).
+class Authenticator {
+ public:
+  virtual ~Authenticator() = default;
+  /// OK admits; any error rejects the request with that status (use
+  /// Status::PermissionDenied). The tenant may be unknown — reject,
+  /// don't crash.
+  virtual Status Authenticate(std::string_view tenant,
+                              std::string_view token) const = 0;
+};
+
+/// The default Authenticator: a static tenant -> token table fixed at
+/// construction. A tenant absent from the table cannot authenticate;
+/// token comparison is exact bytes.
+class StaticTokenAuthenticator : public Authenticator {
+ public:
+  explicit StaticTokenAuthenticator(
+      std::map<std::string, std::string, std::less<>> tokens)
+      : tokens_(std::move(tokens)) {}
+  Status Authenticate(std::string_view tenant,
+                      std::string_view token) const override;
+
+ private:
+  const std::map<std::string, std::string, std::less<>> tokens_;
+};
+
 /// Frontend-wide policy. Quotas apply PER TENANT (every tenant gets
 /// the same limits; 0 disables a limit).
 struct FrontendConfig {
@@ -66,6 +97,16 @@ struct FrontendConfig {
   /// directory passes through verbatim — only appropriate for trusted
   /// single-operator embeddings, never for a multi-tenant deployment.
   std::string storage_root;
+  /// Wire-boundary authentication (envelope v2 `auth_token`). When
+  /// `authenticator` is set it is consulted on EVERY Dispatch before
+  /// routing or admission; otherwise, a non-empty `tenant_tokens`
+  /// installs a StaticTokenAuthenticator over it. With both unset
+  /// (the default) auth is disabled and v1 clients (no token field)
+  /// interoperate unchanged. The TYPED in-process methods are not
+  /// authenticated — they are the trusted embedding surface; a
+  /// transport must route through Dispatch.
+  std::shared_ptr<const Authenticator> authenticator;
+  std::map<std::string, std::string, std::less<>> tenant_tokens;
   /// Injectable time source for the token buckets (microseconds,
   /// monotonic). Defaults to steady_clock; tests inject a fake clock
   /// to make quota exhaustion/recovery deterministic.
@@ -115,12 +156,24 @@ class ServiceFrontend {
                          const DetectAnomaliesRequest& req,
                          DetectAnomaliesResponse* resp);
 
-  /// Transport entry point: decodes one RequestEnvelope, dispatches,
-  /// and returns one encoded ResponseEnvelope. NEVER throws and never
-  /// crashes on malformed bytes — every failure (framing, unknown
-  /// method, unknown version, admission denial, operation error) comes
-  /// back as an encoded error response.
-  std::string Dispatch(std::string_view request_bytes);
+  /// What a transport needs to know about a dispatch WITHOUT decoding
+  /// the response it is about to forward: the outcome code and the
+  /// admission backoff hint (so it can stop reading from a connection
+  /// that is being rate-limited), plus the echoed request id.
+  struct DispatchInfo {
+    Status::Code code = Status::Code::kOk;
+    uint64_t retry_after_us = 0;
+    uint64_t request_id = 0;
+  };
+
+  /// Transport entry point: decodes one RequestEnvelope, authenticates
+  /// (when configured), dispatches, and returns one encoded
+  /// ResponseEnvelope with the request's `request_id` echoed. NEVER
+  /// throws and never crashes on malformed bytes — every failure
+  /// (framing, unknown method, unknown version, auth, admission
+  /// denial, operation error) comes back as an encoded error response.
+  std::string Dispatch(std::string_view request_bytes,
+                       DispatchInfo* info = nullptr);
 
  private:
   /// Per-tenant admission state. Token levels may go negative when an
@@ -166,6 +219,10 @@ class ServiceFrontend {
                                                      std::string_view name);
 
   FrontendConfig config_;
+  /// Effective wire authenticator: config_.authenticator, or a
+  /// StaticTokenAuthenticator built from config_.tenant_tokens, or
+  /// null (auth disabled).
+  std::shared_ptr<const Authenticator> auth_;
   LogService service_;
   std::mutex tenants_mu_;
   std::map<std::string, std::unique_ptr<TenantState>, std::less<>> tenants_;

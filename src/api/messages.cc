@@ -48,6 +48,8 @@ Status StatusFromWire(uint32_t code, std::string message) {
       return Status::AlreadyExists(message);
     case Status::Code::kResourceExhausted:
       return Status::ResourceExhausted(message);
+    case Status::Code::kPermissionDenied:
+      return Status::PermissionDenied(message);
   }
   return Status::Corruption("unknown wire status code " +
                             std::to_string(code));
@@ -63,6 +65,8 @@ void RequestEnvelope::EncodeTo(std::string* out) const {
   w.PutU32(1, static_cast<uint32_t>(method));
   w.PutBytes(2, tenant);
   w.PutBytes(3, payload);
+  if (request_id != 0) w.PutU64(4, request_id);
+  if (!auth_token.empty()) w.PutBytes(5, auth_token);
 }
 
 Status RequestEnvelope::DecodeFrom(std::string_view bytes) {
@@ -73,6 +77,8 @@ Status RequestEnvelope::DecodeFrom(std::string_view bytes) {
   method = view.method;
   tenant.assign(view.tenant);
   payload.assign(view.payload);
+  request_id = view.request_id;
+  auth_token.assign(view.auth_token);
   return Status::OK();
 }
 
@@ -101,6 +107,14 @@ Status RequestEnvelopeView::DecodeFrom(std::string_view bytes) {
       case 3:
         payload = p;
         break;
+      case 4:
+        if (!TakeU64(p, &request_id)) {
+          return Malformed("request envelope request id");
+        }
+        break;
+      case 5:
+        auth_token = p;
+        break;
       default:
         break;
     }
@@ -116,6 +130,7 @@ void ResponseEnvelope::EncodeTo(std::string* out) const {
   w.PutBytes(2, status.message());
   w.PutU64(3, retry_after_us);
   w.PutBytes(4, payload);
+  if (request_id != 0) w.PutU64(5, request_id);
 }
 
 Status ResponseEnvelope::DecodeFrom(std::string_view bytes) {
@@ -147,12 +162,17 @@ Status ResponseEnvelope::DecodeFrom(std::string_view bytes) {
       case 4:
         payload.assign(p);
         break;
+      case 5:
+        if (!TakeU64(p, &request_id)) {
+          return Malformed("response envelope request id");
+        }
+        break;
       default:
         break;
     }
   }
   if (fields.error()) return Malformed("response envelope");
-  if (code > static_cast<uint32_t>(Status::Code::kResourceExhausted)) {
+  if (code > static_cast<uint32_t>(Status::Code::kPermissionDenied)) {
     return Status::Corruption("unknown wire status code " +
                               std::to_string(code));
   }

@@ -37,10 +37,14 @@ namespace bytebrain {
 namespace api {
 
 /// Wire version emitted by this build. Envelopes with a version of 0
-/// are rejected; higher versions decode under the skip-unknown-fields
-/// rule (a v2 peer may talk to a v1 server as long as it only relies
-/// on v1 semantics).
-inline constexpr uint32_t kApiVersion = 1;
+/// are rejected; other versions decode under the skip-unknown-fields
+/// rule in both directions. v2 added `request_id` and `auth_token` to
+/// the envelopes as NEW tags: a v1 client's envelopes still decode
+/// (absent fields default — no request id, empty token) and a v1
+/// client decoding a v2 response simply skips the echoed request id,
+/// so v1 peers interoperate with a v2 server whenever auth is
+/// disabled.
+inline constexpr uint32_t kApiVersion = 2;
 
 /// Method selector carried by every request envelope. Values are wire
 /// format — frozen.
@@ -72,6 +76,14 @@ struct RequestEnvelope {
   ApiMethod method = ApiMethod::kUnknown;
   std::string tenant;
   std::string payload;
+  /// v2: client-chosen correlation id, echoed VERBATIM on the response
+  /// (including error responses) so a pipelining client can match
+  /// responses to requests without relying on ordering. 0 = unset.
+  uint64_t request_id = 0;
+  /// v2: per-tenant credential checked by the frontend's Authenticator
+  /// BEFORE any admission accounting. Empty = unauthenticated (only
+  /// valid against a server with auth disabled).
+  std::string auth_token;
 
   void EncodeTo(std::string* out) const;
   Status DecodeFrom(std::string_view bytes);
@@ -86,6 +98,8 @@ struct RequestEnvelopeView {
   ApiMethod method = ApiMethod::kUnknown;
   std::string_view tenant;
   std::string_view payload;
+  uint64_t request_id = 0;
+  std::string_view auth_token;
 
   Status DecodeFrom(std::string_view bytes);
 };
@@ -99,6 +113,9 @@ struct ResponseEnvelope {
   Status status;
   uint64_t retry_after_us = 0;
   std::string payload;
+  /// v2: the request's `request_id`, echoed verbatim — on error
+  /// responses too, so a pipelined failure still correlates.
+  uint64_t request_id = 0;
 
   void EncodeTo(std::string* out) const;
   Status DecodeFrom(std::string_view bytes);
@@ -347,10 +364,13 @@ Status StatusFromWire(uint32_t code, std::string message);
 /// Client-side convenience: one encoded request envelope for `msg`,
 /// with the payload encoded in place (no intermediate payload string —
 /// the envelope's nested-field length is backpatched). Byte-identical
-/// to RequestEnvelope::EncodeTo over the same content.
+/// to RequestEnvelope::EncodeTo over the same content. `request_id`
+/// and `auth_token` are the v2 envelope fields; their zero/empty
+/// defaults keep the output decodable by a v1 peer's semantics.
 template <typename Request>
 std::string EncodeRequest(ApiMethod method, std::string_view tenant,
-                          const Request& msg) {
+                          const Request& msg, uint64_t request_id = 0,
+                          std::string_view auth_token = {}) {
   std::string out;
   ByteWriter(&out).PutU32(kApiVersion);
   FieldWriter w(&out);
@@ -359,6 +379,8 @@ std::string EncodeRequest(ApiMethod method, std::string_view tenant,
   const size_t body = w.Begin(3);
   msg.EncodeTo(&out);
   w.End(body);
+  if (request_id != 0) w.PutU64(4, request_id);
+  if (!auth_token.empty()) w.PutBytes(5, auth_token);
   return out;
 }
 
@@ -368,7 +390,7 @@ std::string EncodeRequest(ApiMethod method, std::string_view tenant,
 /// output (an omitted payload field reads back as empty).
 template <typename Response>
 std::string EncodeResponse(const Status& status, uint64_t retry_after_us,
-                           const Response* msg) {
+                           const Response* msg, uint64_t request_id = 0) {
   std::string out;
   ByteWriter(&out).PutU32(kApiVersion);
   FieldWriter w(&out);
@@ -380,18 +402,22 @@ std::string EncodeResponse(const Status& status, uint64_t retry_after_us,
     msg->EncodeTo(&out);
     w.End(body);
   }
+  if (request_id != 0) w.PutU64(5, request_id);
   return out;
 }
 
 /// Client-side convenience: decodes a response envelope and, when the
 /// carried status is OK, the payload into `msg`. Returns the carried
-/// status (or a decode error).
+/// status (or a decode error). `request_id` receives the echoed
+/// correlation id (0 when the server sent none).
 template <typename Response>
 Status DecodeResponse(std::string_view bytes, Response* msg,
-                      uint64_t* retry_after_us = nullptr) {
+                      uint64_t* retry_after_us = nullptr,
+                      uint64_t* request_id = nullptr) {
   ResponseEnvelope env;
   BB_RETURN_IF_ERROR(env.DecodeFrom(bytes));
   if (retry_after_us != nullptr) *retry_after_us = env.retry_after_us;
+  if (request_id != nullptr) *request_id = env.request_id;
   BB_RETURN_IF_ERROR(env.status);
   return msg->DecodeFrom(env.payload);
 }

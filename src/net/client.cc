@@ -1,0 +1,132 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bytebrain {
+namespace net {
+
+namespace {
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+NetClient::~NetClient() { Close(); }
+
+Status NetClient::Connect(const std::string& host, uint16_t port,
+                          uint64_t recv_timeout_ms) {
+  if (fd_ >= 0) return Status::InvalidArgument("already connected");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno("connect");
+    ::close(fd);
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(recv_timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((recv_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::WriteAll(const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd_, data + off, len - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("write");
+  }
+  return Status::OK();
+}
+
+Status NetClient::ReadExact(char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd_, data + off, len - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return Status::IOError("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("receive timeout");
+    }
+    return Errno("read");
+  }
+  return Status::OK();
+}
+
+Status NetClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+Status NetClient::SendFrame(std::string_view payload) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  char hdr[4];
+  std::memcpy(hdr, &len, 4);
+  Status s = WriteAll(hdr, 4);
+  if (!s.ok()) return s;
+  return WriteAll(payload.data(), payload.size());
+}
+
+Status NetClient::ReceiveFrame(std::string* payload) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  char hdr[4];
+  Status s = ReadExact(hdr, 4);
+  if (!s.ok()) return s;
+  uint32_t len = 0;
+  std::memcpy(&len, hdr, 4);
+  if (len > max_frame_bytes_) {
+    return Status::IOError("frame announces " + std::to_string(len) +
+                           " bytes, over the client limit");
+  }
+  payload->resize(len);
+  return ReadExact(payload->data(), len);
+}
+
+Result<std::string> NetClient::Call(std::string_view request_bytes) {
+  Status s = SendFrame(request_bytes);
+  if (!s.ok()) return s;
+  std::string response;
+  s = ReceiveFrame(&response);
+  if (!s.ok()) return s;
+  return response;
+}
+
+}  // namespace net
+}  // namespace bytebrain

@@ -1,0 +1,138 @@
+// NetClient — a blocking TCP client for the TcpServer wire format.
+//
+// One frame is [u32 length LE][payload] in both directions; the
+// payload is a bytebrain::api envelope. The client offers three
+// layers, lowest first:
+//
+//  * Raw frames: SendFrame / ReceiveFrame / Call(bytes) — for tests
+//    that need to put hostile bytes on the wire.
+//  * Pipelining: SendRequest(method, tenant, req) enqueues an encoded
+//    request and returns its request_id; ReadResponse(resp, ...) reads
+//    the next response in order. Keep several requests in flight on
+//    one connection to hide round-trip latency (the server responds in
+//    request order).
+//  * Synchronous typed: Call(method, tenant, req, &resp) — one
+//    request, one response, request_id echo verified.
+//
+// Request ids are assigned from a per-client counter (starting at 1,
+// never 0 — 0 means "absent" on the wire). set_auth_token() attaches
+// an envelope-v2 auth token to every subsequent typed request; leave
+// it empty against an auth-disabled server.
+//
+// Not thread-safe: one NetClient per thread (open several connections
+// for concurrency — that is the intended multiplexing model).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "api/messages.h"
+#include "util/status.h"
+
+namespace bytebrain {
+namespace net {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  NetClient(NetClient&& other) noexcept { *this = std::move(other); }
+  NetClient& operator=(NetClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+      auth_token_ = std::move(other.auth_token_);
+      next_request_id_ = other.next_request_id_;
+      max_frame_bytes_ = other.max_frame_bytes_;
+    }
+    return *this;
+  }
+
+  /// Connects (IPv4, blocking) with a receive timeout of
+  /// `recv_timeout_ms` on the socket — a wedged server surfaces as
+  /// IOError, not a hang.
+  Status Connect(const std::string& host, uint16_t port,
+                 uint64_t recv_timeout_ms = 30'000);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Token attached to every subsequent typed request (empty = none).
+  void set_auth_token(std::string token) { auth_token_ = std::move(token); }
+
+  // --- Raw frame layer -------------------------------------------------
+  /// Writes bytes verbatim — NO length prefix. For tests that need to
+  /// dribble partial frames or put hostile bytes on the wire.
+  Status SendRaw(std::string_view bytes);
+  Status SendFrame(std::string_view payload);
+  /// Reads one length-prefixed frame. IOError on EOF/timeout; frames
+  /// announcing more than `max_frame_bytes_` are refused (IOError)
+  /// without allocating.
+  Status ReceiveFrame(std::string* payload);
+  /// SendFrame + ReceiveFrame.
+  Result<std::string> Call(std::string_view request_bytes);
+
+  // --- Pipelined typed layer -------------------------------------------
+  /// Encodes and sends one request; returns the request_id assigned to
+  /// it. Does not wait for the response.
+  template <typename Request>
+  Result<uint64_t> SendRequest(api::ApiMethod method, std::string_view tenant,
+                               const Request& req) {
+    const uint64_t id = next_request_id_++;
+    const Status s =
+        SendFrame(api::EncodeRequest(method, tenant, req, id, auth_token_));
+    if (!s.ok()) return s;
+    return id;
+  }
+  /// Reads the next response frame (responses arrive in request
+  /// order), decodes it into `resp`, and reports the echoed
+  /// request_id / retry hint when non-null. The returned Status is the
+  /// SERVER's status for that request (transport failures are IOError).
+  template <typename Response>
+  Status ReadResponse(Response* resp, uint64_t* request_id = nullptr,
+                      uint64_t* retry_after_us = nullptr) {
+    std::string frame;
+    const Status s = ReceiveFrame(&frame);
+    if (!s.ok()) return s;
+    return api::DecodeResponse(frame, resp, retry_after_us, request_id);
+  }
+
+  // --- Synchronous typed layer ------------------------------------------
+  /// One round trip. Verifies the response echoes the request's id
+  /// (a server echoing 0 — e.g. an error for undecodable framing — is
+  /// tolerated; a DIFFERENT nonzero id is IOError, the stream is
+  /// desynchronized).
+  template <typename Request, typename Response>
+  Status Call(api::ApiMethod method, std::string_view tenant,
+              const Request& req, Response* resp,
+              uint64_t* retry_after_us = nullptr) {
+    auto sent = SendRequest(method, tenant, req);
+    if (!sent.ok()) return sent.status();
+    uint64_t echoed = 0;
+    const Status s = ReadResponse(resp, &echoed, retry_after_us);
+    if (s.IsIOError()) return s;
+    if (echoed != 0 && echoed != sent.value()) {
+      return Status::IOError("response stream desynchronized: sent id " +
+                             std::to_string(sent.value()) + ", got " +
+                             std::to_string(echoed));
+    }
+    return s;
+  }
+
+ private:
+  Status WriteAll(const char* data, size_t len);
+  Status ReadExact(char* data, size_t len);
+
+  int fd_ = -1;
+  std::string auth_token_;
+  uint64_t next_request_id_ = 1;
+  size_t max_frame_bytes_ = 64ull << 20;
+};
+
+}  // namespace net
+}  // namespace bytebrain

@@ -1,0 +1,208 @@
+// TcpServer — the epoll network front for api::ServiceFrontend.
+//
+// This is the transport tier the paper's "as a cloud service" premise
+// needs: a multi-connection TCP server that length-prefixes
+// bytebrain::api envelopes onto ServiceFrontend::Dispatch. The wire
+// format is deliberately minimal — one frame is
+//
+//     [u32 length, little-endian][length bytes of envelope]
+//
+// in both directions, because everything interesting (versioning,
+// auth, request ids, status codes) already lives INSIDE the envelope
+// (api/messages.h). The server never interprets payload bytes beyond
+// the length prefix; Dispatch's "bytes in, decodable envelope out,
+// never a crash" contract is what makes that safe.
+//
+// Architecture:
+//  * One accept thread owns the nonblocking listen socket and deals
+//    accepted connections round-robin to N worker event loops.
+//  * Each worker owns an epoll instance and the FULL lifecycle of its
+//    connections — read, dispatch (inline, on the worker thread),
+//    write, close. A connection never migrates threads, so per-
+//    connection state needs no locks; cross-thread traffic is limited
+//    to the accept handoff (mutex + eventfd wakeup). ServiceFrontend
+//    is thread-safe, so workers dispatch concurrently.
+//  * Partial frames reassemble in a per-connection read buffer;
+//    responses queue in a per-connection write buffer flushed as
+//    EPOLLOUT allows. Pipelining is natural: a client may write many
+//    frames back-to-back, responses come back in request order (use
+//    envelope request_ids to correlate).
+//
+// Protection / backpressure (the transport half of admission control):
+//  * A frame whose length prefix exceeds `max_frame_bytes` closes the
+//    connection immediately — a length cannot be "partially" trusted,
+//    and an attacker-controlled 4 GiB allocation must never happen.
+//  * A connection idle longer than `idle_timeout_ms` (no bytes in
+//    either direction) is closed — the slowloris guard.
+//  * When a connection's write buffer exceeds `write_high_watermark`,
+//    the server STOPS READING from it until the buffer drains below
+//    the watermark: a client that does not read its responses cannot
+//    make the server buffer unboundedly, it just stops being served.
+//  * When Dispatch reports an admission denial with a retry_after_us
+//    hint, the server pauses reading from that connection for the
+//    hinted duration (capped at `max_read_pause_us`) — the token
+//    bucket's backoff maps onto the transport instead of letting a
+//    hot-looping client burn CPU on denials.
+//
+// Shutdown() is graceful: the listener closes, each worker finishes
+// the dispatch it is in, responses already computed are flushed for up
+// to `drain_timeout_ms`, then connections close. Start()/Shutdown()
+// are not thread-safe against each other; call them from one thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/frontend.h"
+#include "util/status.h"
+
+namespace bytebrain {
+namespace net {
+
+struct TcpServerConfig {
+  /// Address to bind. Loopback by default — exposing the service
+  /// beyond the host is a deployment decision, not a default.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via TcpServer::port().
+  uint16_t port = 0;
+  /// Worker event-loop threads (connections are dealt round-robin).
+  int num_workers = 2;
+  /// Listen backlog.
+  int backlog = 128;
+  /// A frame announcing more than this many payload bytes closes the
+  /// connection (the envelope layer never sees it).
+  size_t max_frame_bytes = 16ull << 20;
+  /// Close a connection after this long with no bytes in either
+  /// direction. 0 disables the idle guard.
+  uint64_t idle_timeout_ms = 60'000;
+  /// Stop reading from a connection whose pending responses exceed
+  /// this many buffered bytes; resume below it.
+  size_t write_high_watermark = 4ull << 20;
+  /// Cap on the read pause taken from a retry_after_us hint.
+  uint64_t max_read_pause_us = 1'000'000;
+  /// Shutdown: how long to keep flushing already-computed responses.
+  uint64_t drain_timeout_ms = 1'000;
+};
+
+/// Counters for ops/tests; all monotone except connections_active.
+struct TcpServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t frames_dispatched = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  /// Connections closed for announcing an oversized frame.
+  uint64_t oversized_frame_closes = 0;
+  /// Connections closed by the idle/slowloris guard.
+  uint64_t idle_closes = 0;
+  /// Times a connection crossed the write high-watermark (reads
+  /// paused until its responses drained).
+  uint64_t watermark_pauses = 0;
+  /// Times an admission retry_after_us hint paused a connection's
+  /// reads.
+  uint64_t throttle_pauses = 0;
+};
+
+class TcpServer {
+ public:
+  /// `frontend` must outlive the server and is shared with any other
+  /// surface (the typed API keeps working while the server runs).
+  explicit TcpServer(api::ServiceFrontend* frontend,
+                     TcpServerConfig config = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts the accept + worker threads. IOError
+  /// with errno detail on any socket failure; calling Start twice is
+  /// InvalidArgument.
+  Status Start();
+
+  /// Graceful stop (see the header comment). Idempotent; also run by
+  /// the destructor.
+  void Shutdown();
+
+  /// The bound port (resolves port 0); valid after a successful
+  /// Start().
+  uint16_t port() const { return port_; }
+
+  TcpServerStats stats() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    /// Reassembly buffer: unconsumed bytes live at [rpos, rbuf.size()).
+    std::string rbuf;
+    size_t rpos = 0;
+    /// Pending response bytes at [wpos, wbuf.size()).
+    std::string wbuf;
+    size_t wpos = 0;
+    uint64_t last_activity_us = 0;
+    /// Nonzero while reads are paused by an admission retry hint.
+    uint64_t paused_until_us = 0;
+    bool paused_watermark = false;
+    /// Interest currently registered with epoll.
+    bool want_read = true;
+    bool want_write = false;
+  };
+
+  struct Worker {
+    int epoll_fd = -1;
+    int event_fd = -1;
+    std::thread thread;
+    std::mutex mu;
+    std::vector<int> incoming;  // accepted fds awaiting registration
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  };
+
+  static uint64_t NowUs();
+  void AcceptLoop();
+  void WorkerLoop(Worker* w);
+  void AdoptIncoming(Worker* w);
+  void UpdateInterest(Worker* w, Conn* c, bool want_read, bool want_write);
+  /// Reads until EAGAIN, dispatches every complete frame, queues
+  /// responses, flushes, and re-evaluates pause state. Returns false
+  /// if the connection was closed.
+  bool HandleReadable(Worker* w, Conn* c);
+  /// Flushes the write buffer until EAGAIN/empty. Returns false on a
+  /// write error (connection closed).
+  bool FlushWrites(Conn* c);
+  /// Applies watermark/throttle pause state to the epoll interest set.
+  void ReevaluateInterest(Worker* w, Conn* c);
+  void CloseConn(Worker* w, Conn* c);
+  /// Periodic sweep: resume throttled connections whose pause expired,
+  /// close idle ones.
+  void SweepConns(Worker* w, uint64_t now_us);
+  void DrainAndCloseAll(Worker* w);
+
+  api::ServiceFrontend* frontend_;
+  TcpServerConfig config_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  std::thread accept_thread_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  size_t next_worker_ = 0;
+
+  // Stats (atomics: touched by accept + worker threads concurrently).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> frames_dispatched_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> oversized_frame_closes_{0};
+  std::atomic<uint64_t> idle_closes_{0};
+  std::atomic<uint64_t> watermark_pauses_{0};
+  std::atomic<uint64_t> throttle_pauses_{0};
+};
+
+}  // namespace net
+}  // namespace bytebrain

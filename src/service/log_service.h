@@ -369,8 +369,9 @@ class ManagedTopic {
 
   // --- Locked snapshot accessors -------------------------------------
   // Safe under full concurrency (ingest, training commits, queries);
-  // each takes the topic lock shared and copies what it returns. These
-  // replace the deprecated raw substrate accessors below.
+  // each takes the topic lock shared and copies what it returns. The
+  // substrates themselves (LogTopic, parser, internal topic) are never
+  // exposed raw — every read crosses the lock.
 
   /// Number of records appended so far. Locking: shared.
   uint64_t size() const;
@@ -401,27 +402,6 @@ class ManagedTopic {
   /// Locking: shared.
   TopicConfig config() const;
 
-  /// Unsynchronized accessors for the substrates; the returned references
-  /// are only safe to read while no concurrent exclusive section (ingest
-  /// / training commit) can run — i.e. in tests and single-threaded use.
-  /// Deprecated: use the locked snapshot accessors above instead.
-  [[deprecated(
-      "unsynchronized; use size()/ReadRecord()/ScanRecords()/"
-      "StorageStatus()/PersistTo() instead")]] const LogTopic&
-  topic() const {
-    return topic_;
-  }
-  [[deprecated("unsynchronized; use TemplateCatalog() instead")]] const
-      InternalTopic&
-      internal_topic() const {
-    return internal_;
-  }
-  [[deprecated(
-      "unsynchronized; use HasTemplate()/TemplateTexts()/stats() "
-      "instead")]] const ByteBrainParser&
-  parser() const {
-    return parser_;
-  }
   /// Locking: shared.
   bool trained() const;
 

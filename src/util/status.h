@@ -26,6 +26,7 @@ class Status {
     kAborted,
     kAlreadyExists,
     kResourceExhausted,
+    kPermissionDenied,
   };
 
   Status() : code_(Code::kOk) {}
@@ -55,6 +56,9 @@ class Status {
   static Status ResourceExhausted(std::string_view msg) {
     return Status(Code::kResourceExhausted, msg);
   }
+  static Status PermissionDenied(std::string_view msg) {
+    return Status(Code::kPermissionDenied, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -66,6 +70,9 @@ class Status {
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsResourceExhausted() const {
     return code_ == Code::kResourceExhausted;
+  }
+  bool IsPermissionDenied() const {
+    return code_ == Code::kPermissionDenied;
   }
 
   Code code() const { return code_; }
@@ -85,6 +92,7 @@ class Status {
       case Code::kAborted: name = "Aborted"; break;
       case Code::kAlreadyExists: name = "AlreadyExists"; break;
       case Code::kResourceExhausted: name = "ResourceExhausted"; break;
+      case Code::kPermissionDenied: name = "PermissionDenied"; break;
     }
     return name + ": " + message_;
   }

@@ -112,6 +112,7 @@ TEST(ApiMessagesTest, AllStatusCodesCrossTheWire) {
       Status::Aborted("f"),
       Status::AlreadyExists("g"),
       Status::ResourceExhausted("h"),
+      Status::PermissionDenied("i"),
   };
   for (const Status& s : statuses) {
     ResponseEnvelope env;
@@ -1313,6 +1314,206 @@ TEST(ApiFrontendTest, ConcurrentLiveReshardIsClean) {
   uint64_t total = 0;
   for (const TemplateGroup& g : result.groups) total += g.count;
   EXPECT_EQ(total, 60u + ok_records.load());
+}
+
+// ---------------------------------------------------------------------
+// Envelope v2: request ids + auth tokens
+// ---------------------------------------------------------------------
+
+TEST(ApiMessagesTest, EnvelopeV2FieldsRoundTrip) {
+  RequestEnvelope req;
+  req.method = ApiMethod::kIngest;
+  req.tenant = "acme";
+  req.payload = "p";
+  req.request_id = 0xDEADBEEFCAFEull;
+  req.auth_token = "s3cret\0bytes";
+
+  RequestEnvelope got;
+  ASSERT_TRUE(got.DecodeFrom(Encode(req)).ok());
+  EXPECT_EQ(got.request_id, req.request_id);
+  EXPECT_EQ(got.auth_token, req.auth_token);
+
+  // The view aliases the encoded buffer — keep it alive while reading.
+  const std::string encoded = Encode(req);
+  RequestEnvelopeView view;
+  ASSERT_TRUE(view.DecodeFrom(encoded).ok());
+  EXPECT_EQ(view.request_id, req.request_id);
+  EXPECT_EQ(view.auth_token, req.auth_token);
+
+  ResponseEnvelope resp;
+  resp.status = Status::OK();
+  resp.request_id = 77;
+  ResponseEnvelope resp2;
+  ASSERT_TRUE(resp2.DecodeFrom(Encode(resp)).ok());
+  EXPECT_EQ(resp2.request_id, 77u);
+}
+
+TEST(ApiMessagesTest, V2FieldsAreOptionalOnTheWire) {
+  // Zero request_id / empty token encode NOTHING — byte-identical to
+  // what a v1 encoder produced, so v1 peers round-trip unchanged.
+  RequestEnvelope v1_shape;
+  v1_shape.method = ApiMethod::kQuery;
+  v1_shape.tenant = "t";
+  v1_shape.payload = "x";
+  RequestEnvelope with_fields = v1_shape;
+  with_fields.request_id = 0;
+  with_fields.auth_token = "";
+  EXPECT_EQ(Encode(v1_shape), Encode(with_fields));
+
+  // And a v1-version envelope (api_version = 1, no v2 tags) decodes
+  // with the v2 defaults.
+  RequestEnvelope old_peer = v1_shape;
+  old_peer.api_version = 1;
+  RequestEnvelope got;
+  ASSERT_TRUE(got.DecodeFrom(Encode(old_peer)).ok());
+  EXPECT_EQ(got.api_version, 1u);
+  EXPECT_EQ(got.request_id, 0u);
+  EXPECT_TRUE(got.auth_token.empty());
+}
+
+TEST(ApiMessagesTest, V2EnvelopeTruncationAndFuzzNeverCrash) {
+  RequestEnvelope req;
+  req.method = ApiMethod::kIngestBatch;
+  req.tenant = "acme";
+  req.payload = "payload-bytes";
+  req.request_id = 123456789;
+  req.auth_token = "token-token-token";
+  ExpectRobustDecoding<RequestEnvelope>(Encode(req));
+
+  ResponseEnvelope resp;
+  resp.status = Status::PermissionDenied("no");
+  resp.request_id = 987654321;
+  resp.payload = "x";
+  ExpectRobustDecoding<ResponseEnvelope>(Encode(resp));
+}
+
+TEST(ApiFrontendTest, DispatchEchoesRequestId) {
+  ServiceFrontend frontend;
+  CreateTopicRequest create;
+  create.name = "t";
+  create.config = SmallConfig();
+  ServiceFrontend::DispatchInfo info;
+  const std::string response = frontend.Dispatch(
+      EncodeRequest(ApiMethod::kCreateTopic, "acme", create, /*request_id=*/42),
+      &info);
+  CreateTopicResponse created;
+  uint64_t echoed = 0;
+  ASSERT_TRUE(DecodeResponse(response, &created, nullptr, &echoed).ok());
+  EXPECT_EQ(echoed, 42u);
+  EXPECT_EQ(info.request_id, 42u);
+  EXPECT_EQ(info.code, Status::Code::kOk);
+
+  // Errors echo the id too — correlation matters MOST for failures.
+  const std::string err_response = frontend.Dispatch(
+      EncodeRequest(ApiMethod::kCreateTopic, "acme", create, /*request_id=*/43),
+      &info);
+  CreateTopicResponse dup;
+  echoed = 0;
+  EXPECT_TRUE(DecodeResponse(err_response, &dup, nullptr, &echoed)
+                  .IsAlreadyExists());
+  EXPECT_EQ(echoed, 43u);
+  EXPECT_EQ(info.code, Status::Code::kAlreadyExists);
+}
+
+TEST(ApiFrontendTest, AuthRejectsBeforeAdmissionAccounting) {
+  FrontendConfig config;
+  config.tenant_tokens = {{"acme", "acme-token"}, {"globex", "globex-token"}};
+  ServiceFrontend frontend(config);
+
+  CreateTopicRequest create;
+  create.name = "t";
+  create.config = SmallConfig();
+
+  // No token, wrong token, right-token-wrong-tenant, unknown tenant:
+  // all PermissionDenied, all indistinguishable.
+  auto denied_msg = [&](std::string_view tenant, std::string_view token) {
+    ServiceFrontend::DispatchInfo info;
+    const std::string response = frontend.Dispatch(
+        EncodeRequest(ApiMethod::kCreateTopic, tenant, create, 1, token),
+        &info);
+    CreateTopicResponse resp;
+    const Status s = DecodeResponse(response, &resp);
+    EXPECT_TRUE(s.IsPermissionDenied()) << s.ToString();
+    EXPECT_EQ(info.code, Status::Code::kPermissionDenied);
+    return std::string(s.message());
+  };
+  const std::string a = denied_msg("acme", "");
+  const std::string b = denied_msg("acme", "globex-token");
+  const std::string c = denied_msg("nobody", "acme-token");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+
+  // The right token works...
+  ServiceFrontend::DispatchInfo info;
+  std::string response = frontend.Dispatch(
+      EncodeRequest(ApiMethod::kCreateTopic, "acme", create, 2, "acme-token"),
+      &info);
+  CreateTopicResponse created;
+  ASSERT_TRUE(DecodeResponse(response, &created).ok());
+
+  // ...and auth-rejected ingests never reached admission: the tenant
+  // meter records no denials (rejection happens BEFORE accounting).
+  IngestBatchRequest batch;
+  batch.topic = "t";
+  batch.texts = {"a", "b"};
+  for (int i = 0; i < 5; ++i) {
+    frontend.Dispatch(
+        EncodeRequest(ApiMethod::kIngestBatch, "acme", batch, 3, "wrong"));
+  }
+  GetStatsRequest stats_req;
+  stats_req.topic = "t";
+  response = frontend.Dispatch(EncodeRequest(ApiMethod::kGetStats, "acme",
+                                             stats_req, 4, "acme-token"));
+  GetStatsResponse stats;
+  ASSERT_TRUE(DecodeResponse(response, &stats).ok());
+  EXPECT_EQ(stats.tenant.denied_requests, 0u);
+  EXPECT_EQ(stats.tenant.admitted_requests, 0u);
+}
+
+TEST(ApiFrontendTest, AuthDisabledAcceptsV1Envelopes) {
+  // The pre-v2 client shape: api_version 1, no request_id, no token.
+  // Against an auth-disabled frontend it must round-trip unchanged.
+  ServiceFrontend frontend;
+  CreateTopicRequest create;
+  create.name = "t";
+  create.config = SmallConfig();
+  RequestEnvelope env;
+  env.api_version = 1;
+  env.method = ApiMethod::kCreateTopic;
+  env.tenant = "acme";
+  env.payload = Encode(create);
+  CreateTopicResponse created;
+  uint64_t echoed = 99;
+  ASSERT_TRUE(
+      DecodeResponse(frontend.Dispatch(Encode(env)), &created, nullptr,
+                     &echoed)
+          .ok());
+  EXPECT_EQ(echoed, 0u);  // nothing to echo, nothing echoed
+}
+
+TEST(ApiFrontendTest, CustomAuthenticatorIsConsulted) {
+  class EvenTenantsOnly : public Authenticator {
+   public:
+    Status Authenticate(std::string_view tenant,
+                        std::string_view token) const override {
+      if (!token.empty() && tenant.size() % 2 == 0) return Status::OK();
+      return Status::PermissionDenied("odd tenant");
+    }
+  };
+  FrontendConfig config;
+  config.authenticator = std::make_shared<EvenTenantsOnly>();
+  ServiceFrontend frontend(config);
+
+  ListTopicsRequest list;
+  ListTopicsResponse topics;
+  EXPECT_TRUE(DecodeResponse(frontend.Dispatch(EncodeRequest(
+                                 ApiMethod::kListTopics, "ab", list, 1, "x")),
+                             &topics)
+                  .ok());
+  EXPECT_TRUE(DecodeResponse(frontend.Dispatch(EncodeRequest(
+                                 ApiMethod::kListTopics, "abc", list, 2, "x")),
+                             &topics)
+                  .IsPermissionDenied());
 }
 
 }  // namespace
