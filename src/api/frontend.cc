@@ -6,6 +6,7 @@
 #include <iterator>
 #include <utility>
 
+#include "logstore/segment_cache.h"
 #include "util/serde.h"
 
 namespace bytebrain {
@@ -65,6 +66,14 @@ struct QueryCursor {
   uint64_t offset = 0;
   double saturation = 0.0;
   bool include_sequence_numbers = true;
+  /// Resume key of the last group already served (tags 6-8, appended in
+  /// v8): page N+1 seeks past it in the global group order instead of
+  /// regrouping pages 1..N. Cursors minted before v8 decode with
+  /// has_resume_key = false and fall back to the positional offset —
+  /// same results, legacy cost.
+  bool has_resume_key = false;
+  uint64_t resume_count = 0;
+  TemplateId resume_template_id = kInvalidTemplateId;
 
   void EncodeTo(std::string* out) const {
     FieldWriter w(out);
@@ -73,6 +82,9 @@ struct QueryCursor {
     w.PutU64(3, offset);
     w.PutDouble(4, saturation);
     w.PutBool(5, include_sequence_numbers);
+    w.PutBool(6, has_resume_key);
+    w.PutU64(7, resume_count);
+    w.PutU64(8, resume_template_id);
   }
 
   Status DecodeFrom(std::string_view bytes) {
@@ -96,6 +108,15 @@ struct QueryCursor {
           break;
         case 5:
           ok = ok && FieldReader::Bool(p, &include_sequence_numbers);
+          break;
+        case 6:
+          ok = ok && FieldReader::Bool(p, &has_resume_key);
+          break;
+        case 7:
+          ok = ok && FieldReader::U64(p, &resume_count);
+          break;
+        case 8:
+          ok = ok && FieldReader::U64(p, &resume_template_id);
           break;
         default:
           break;
@@ -156,6 +177,10 @@ ServiceFrontend::ServiceFrontend(FrontendConfig config)
   auth_ = config_.authenticator;
   if (auth_ == nullptr && !config_.tenant_tokens.empty()) {
     auth_ = std::make_shared<StaticTokenAuthenticator>(config_.tenant_tokens);
+  }
+  if (config_.segment_cache_budget_bytes > 0) {
+    SegmentCache::Global()->set_budget_bytes(
+        config_.segment_cache_budget_bytes);
   }
 }
 
@@ -475,22 +500,29 @@ Status ServiceFrontend::Query(std::string_view tenant, const QueryRequest& req,
     cursor.include_sequence_numbers = req.include_sequence_numbers;
   }
 
-  auto groups =
-      topic.value()->Query(cursor.saturation, cursor.begin_seq,
-                           cursor.end_seq, cursor.include_sequence_numbers);
-  BB_RETURN_IF_ERROR(groups.status());
-  std::vector<TemplateGroup>& all = groups.value();
-  const size_t total = all.size();
-  const size_t first = std::min<size_t>(cursor.offset, total);
-  const size_t take = req.max_groups == 0
-                          ? total - first
-                          : std::min<size_t>(req.max_groups, total - first);
-  resp->groups.assign(std::make_move_iterator(all.begin() + first),
-                      std::make_move_iterator(all.begin() + first + take));
+  // Index-backed page: counts come from the storage postings, the page
+  // start is seeked via the cursor's resume key, and only this page's
+  // groups are materialized — page N+1 no longer regroups pages 1..N.
+  QueryPageRequest page_req;
+  page_req.saturation_threshold = cursor.saturation;
+  page_req.begin_seq = cursor.begin_seq;
+  page_req.end_seq = cursor.end_seq;
+  page_req.collect_sequences = cursor.include_sequence_numbers;
+  page_req.max_groups = req.max_groups;
+  page_req.offset = cursor.offset;
+  page_req.has_resume_key = cursor.has_resume_key;
+  page_req.resume_count = cursor.resume_count;
+  page_req.resume_template_id = cursor.resume_template_id;
+  auto page = topic.value()->QueryGroups(page_req);
+  BB_RETURN_IF_ERROR(page.status());
+  resp->groups = std::move(page.value().groups);
   resp->next_cursor.clear();
-  if (first + take < total) {
+  if (page.value().has_more) {
     QueryCursor next = cursor;
-    next.offset = first + take;
+    next.offset = page.value().next_offset;
+    next.has_resume_key = true;
+    next.resume_count = page.value().last_count;
+    next.resume_template_id = page.value().last_template_id;
     next.EncodeTo(&resp->next_cursor);
   }
   return Status::OK();

@@ -107,6 +107,13 @@ struct FrontendConfig {
   /// transport must route through Dispatch.
   std::shared_ptr<const Authenticator> authenticator;
   std::map<std::string, std::string, std::less<>> tenant_tokens;
+  /// Byte budget for the process-wide sealed-segment page cache shared
+  /// by every disk-backed topic (SegmentCache::Global()): mappings are
+  /// LRU-evicted past it, pinned readers excepted. 0 (the default)
+  /// leaves the cache's own default (1 GiB) untouched. Applied at
+  /// frontend construction; process-wide, so the LAST frontend built
+  /// wins if several coexist.
+  uint64_t segment_cache_budget_bytes = 0;
   /// Injectable time source for the token buckets (microseconds,
   /// monotonic). Defaults to steady_clock; tests inject a fake clock
   /// to make quota exhaustion/recovery deterministic.

@@ -842,6 +842,11 @@ void GetStatsResponse::EncodeTo(std::string* out) const {
     tw.PutU64(6, tenant.denied_records);
     w.End(body);
   }
+  w.PutU64(28, stats.storage_cache_hits);
+  w.PutU64(29, stats.storage_cache_misses);
+  w.PutU64(30, stats.storage_cache_evictions);
+  w.PutU64(31, stats.storage_index_rebuilds);
+  w.PutU64(32, stats.storage_scan_record_visits);
 }
 
 Status GetStatsResponse::DecodeFrom(std::string_view bytes) {
@@ -964,6 +969,21 @@ Status GetStatsResponse::DecodeFrom(std::string_view bytes) {
         break;
       case 26:
         if (!TakeU64(p, &stats.wal_replayed_records)) goto malformed;
+        break;
+      case 28:
+        if (!TakeU64(p, &stats.storage_cache_hits)) goto malformed;
+        break;
+      case 29:
+        if (!TakeU64(p, &stats.storage_cache_misses)) goto malformed;
+        break;
+      case 30:
+        if (!TakeU64(p, &stats.storage_cache_evictions)) goto malformed;
+        break;
+      case 31:
+        if (!TakeU64(p, &stats.storage_index_rebuilds)) goto malformed;
+        break;
+      case 32:
+        if (!TakeU64(p, &stats.storage_scan_record_visits)) goto malformed;
         break;
       case 27: {
         FieldReader tr(p);

@@ -259,10 +259,12 @@ struct QueryRequest {
   uint64_t begin_seq = 0;
   uint64_t end_seq = UINT64_MAX;
   /// Page size: at most this many groups per response (0 = all).
-  /// Note the cost model: there is no server-side result cache, so
-  /// EVERY page re-scans the snapshot window and regroups before
-  /// slicing — small pages over a huge window multiply scan work.
-  /// Pick page sizes for transport framing, not tiny UX increments.
+  /// Cost model: group counts come from the per-segment template
+  /// postings (no record scan for a fully sealed window), the cursor
+  /// carries a resume key that seeks page N+1's start directly, and
+  /// only the returned page's groups are materialized — per-page work
+  /// is O(distinct templates + page + the page's matching records),
+  /// independent of how many pages precede it.
   uint32_t max_groups = 0;
   /// Opaque continuation token from the previous page's
   /// QueryResponse::next_cursor. When set it overrides the window /

@@ -1,7 +1,6 @@
 #include "logstore/disk_backend.h"
 
 #include <fcntl.h>
-#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -9,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
 
 #include "logstore/fault_injection.h"
 #include "logstore/frame_format.h"
@@ -87,19 +87,26 @@ Status ReadWholeFile(const std::string& path, std::string* out,
 }  // namespace
 
 SegmentedDiskBackend::SealedSegment::~SealedSegment() {
-  if (map != nullptr) {
-    ::munmap(const_cast<char*>(map), map_len);
-  }
+  // Dropping the cache entry (last reference: the backend retired the
+  // segment and every view is gone) unmaps it; only then is the fd —
+  // which Acquire would need for a remap — safe to close.
+  entry.reset();
   if (fd >= 0) ::close(fd);
 }
 
-/// The off-lock sealed snapshot: shares ownership of the sealed set, so
-/// segments stay mapped for the view's lifetime regardless of what the
-/// backend does (Clear, further seals) after the snapshot.
+/// The off-lock sealed snapshot: shares ownership of the sealed set and
+/// pins each segment it reads for its own lifetime, so the text
+/// string_views it hands out stay valid regardless of what the backend
+/// (Clear, further seals) or the cache (eviction pressure from other
+/// topics) does after the snapshot.
 class SegmentedDiskBackend::View : public SealedRecordView {
  public:
-  View(std::shared_ptr<const SealedSet> segments, uint64_t end_seq)
-      : segments_(std::move(segments)), end_seq_(end_seq) {}
+  View(std::shared_ptr<const SealedSet> segments, uint64_t end_seq,
+       SegmentCache* cache)
+      : segments_(std::move(segments)),
+        end_seq_(end_seq),
+        cache_(cache),
+        pins_(segments_->size()) {}
 
   uint64_t end_seq() const override { return end_seq_; }
 
@@ -108,25 +115,48 @@ class SegmentedDiskBackend::View : public SealedRecordView {
       const override {
     if (begin > end) return Status::InvalidArgument("begin > end");
     end = std::min(end, end_seq_);
-    for (const auto& seg : *segments_) {
-      const uint64_t seg_end = seg->first_seq + seg->records;
+    for (size_t si = 0; si < segments_->size(); ++si) {
+      const SealedSegment& seg = *(*segments_)[si];
+      const uint64_t seg_end = seg.first_seq + seg.records;
       if (seg_end <= begin) continue;
-      if (seg->first_seq >= end) break;
-      const uint64_t lo = std::max(begin, seg->first_seq);
+      if (seg.first_seq >= end) break;
+      const char* data = nullptr;
+      BB_RETURN_IF_ERROR(PinIfNeeded(si, seg, &data));
+      const uint64_t lo = std::max(begin, seg.first_seq);
       const uint64_t hi = std::min(end, seg_end);
+      size_t off = SeekOffset(data, seg, lo - seg.first_seq);
       for (uint64_t seq = lo; seq < hi; ++seq) {
-        const char* frame = seg->map + seg->offsets[seq - seg->first_seq];
         uint32_t len;
-        std::memcpy(&len, frame, 4);
-        fn(seq, std::string_view(frame + kFrameHeaderBytes, len));
+        std::memcpy(&len, data + off, 4);
+        fn(seq, std::string_view(data + off + kFrameHeaderBytes, len));
+        off += kFrameHeaderBytes + len;
       }
     }
     return Status::OK();
   }
 
  private:
+  /// Pins are taken lazily (first touch per segment) and HELD until
+  /// the view is destroyed: the string_views handed to fn must stay
+  /// valid for the view's lifetime (the SealedRecordView contract), so
+  /// the segments a view has read must be immune to eviction. The
+  /// mutex makes the lazy pin race-free if a view is shared across
+  /// threads.
+  Status PinIfNeeded(size_t si, const SealedSegment& seg,
+                     const char** data) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pins_[si].valid()) {
+      BB_RETURN_IF_ERROR(cache_->Acquire(seg.entry, &pins_[si]));
+    }
+    *data = pins_[si].data();
+    return Status::OK();
+  }
+
   std::shared_ptr<const SealedSet> segments_;
   uint64_t end_seq_;
+  SegmentCache* cache_;
+  mutable std::mutex mu_;
+  mutable std::vector<SegmentCache::Pin> pins_;  // parallel to *segments_
 };
 
 SegmentedDiskBackend::SegmentedDiskBackend(StorageConfig config)
@@ -135,6 +165,9 @@ SegmentedDiskBackend::SegmentedDiskBackend(StorageConfig config)
     config_.segment_data_bytes = 8ull * 1024 * 1024;
   }
   ops_ = config_.file_ops != nullptr ? config_.file_ops : RealFileOps();
+  cache_ = config_.segment_cache != nullptr ? config_.segment_cache
+                                            : SegmentCache::Global();
+  cache_owner_ = std::make_shared<SegmentCache::OwnerStats>();
   active_checksum_fold_ = kSegmentChecksumSeed;
 }
 
@@ -166,9 +199,37 @@ uint64_t SegmentedDiskBackend::sealed_segment_count() const {
 }
 
 uint64_t SegmentedDiskBackend::mapped_bytes() const {
-  uint64_t total = 0;
-  for (const auto& seg : *sealed_) total += seg->map_len;
-  return total;
+  return cache_->owner_stats(cache_owner_).resident_bytes;
+}
+
+uint64_t SegmentedDiskBackend::cache_hits() const {
+  return cache_->owner_stats(cache_owner_).hits;
+}
+
+uint64_t SegmentedDiskBackend::cache_misses() const {
+  return cache_->owner_stats(cache_owner_).misses;
+}
+
+uint64_t SegmentedDiskBackend::cache_evictions() const {
+  return cache_->owner_stats(cache_owner_).evictions;
+}
+
+size_t SegmentedDiskBackend::SeekOffset(const char* data,
+                                        const SealedSegment& seg,
+                                        uint64_t ridx) {
+  const uint64_t fence = ridx / seg.fence_interval;
+  size_t off = static_cast<size_t>(seg.fenceposts[fence]);
+  for (uint64_t r = fence * seg.fence_interval; r < ridx; ++r) {
+    uint32_t len;
+    std::memcpy(&len, data + off, 4);
+    off += kFrameHeaderBytes + len;
+  }
+  return off;
+}
+
+Status SegmentedDiskBackend::PinSegment(const SealedSegment& seg,
+                                        SegmentCache::Pin* pin) const {
+  return cache_->Acquire(seg.entry, pin);
 }
 
 Status SegmentedDiskBackend::Open() {
@@ -337,35 +398,32 @@ Status SegmentedDiskBackend::OpenSealedSegment(
     return IOErrorFor("cannot stat sealed segment", path);
   }
   const size_t len = static_cast<size_t>(st.st_size);
-  void* map = nullptr;
-  if (len > 0) {
-    map = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
-    if (map == MAP_FAILED) {
-      ::close(fd);
-      return IOErrorFor("cannot mmap sealed segment", path);
-    }
-  }
   auto seg = std::make_shared<SealedSegment>();
   seg->first_seq = first_seq;
-  seg->map = static_cast<const char*>(map);
-  seg->map_len = len;
   seg->fd = fd;
+  seg->data_len = len;
+  seg->entry = cache_->Register(fd, len, cache_owner_);
 
-  // Full verification pass: every frame's stored checksum must match
-  // its bytes and the fold must match the manifest. Sealed data is the
-  // durable contract — recovery refuses to serve silently corrupted
-  // records (the caller surfaces the Status instead of crashing).
-  ByteReader reader(seg->map, len);
+  // Full verification pass (under a transient pin): every frame's
+  // stored checksum must match its bytes and the fold must match the
+  // manifest. Sealed data is the durable contract — recovery refuses
+  // to serve silently corrupted records (the caller surfaces the
+  // Status instead of crashing). The same pass rebuilds the
+  // authoritative sparse index at ~zero marginal cost; the persisted
+  // .idx below is only a cross-check.
+  SegmentCache::Pin pin;
+  BB_RETURN_IF_ERROR(PinSegment(*seg, &pin));
+  ByteReader reader(pin.data(), len);
   uint64_t fold = kSegmentChecksumSeed;
-  seg->offsets.reserve(expect_records);
+  SegmentIndex built;
   for (uint64_t r = 0; r < expect_records; ++r) {
     Frame frame;
-    if (!ParseFrame(&reader, seg->map, &frame)) {
+    if (!ParseFrame(&reader, pin.data(), &frame)) {
       return Status::Corruption(
           "truncated or corrupt frame in sealed segment: " + path);
     }
     fold = HashCombine(fold, frame.crc);
-    seg->offsets.push_back(frame.start);
+    built.AddRecord(frame.start, frame.ts, frame.tid);
     text_bytes_ += frame.text_len;
   }
   if (fold != expect_checksum || !reader.AtEnd()) {
@@ -374,6 +432,32 @@ Status SegmentedDiskBackend::OpenSealedSegment(
   }
   seg->records = expect_records;
   seg->checksum = expect_checksum;
+
+  // A missing, unreadable, corrupt, or stale (template ids pwritten
+  // after it was persisted — detected by tid_fold) .idx is rewritten
+  // from the just-verified frames. NEVER an open failure: the index is
+  // derived data and the segment is the source of truth.
+  const std::string idx_path = SegmentIndexPath(config_.directory, index);
+  SegmentIndex loaded;
+  bool idx_exists = false;
+  const Status read = SegmentIndex::ReadFrom(idx_path, &loaded, &idx_exists);
+  const bool fresh = read.ok() && idx_exists &&
+                     loaded.records == built.records &&
+                     loaded.tid_fold == built.tid_fold &&
+                     loaded.fencepost_interval == built.fencepost_interval &&
+                     loaded.fenceposts == built.fenceposts &&
+                     loaded.min_timestamp_us == built.min_timestamp_us &&
+                     loaded.max_timestamp_us == built.max_timestamp_us &&
+                     loaded.postings == built.postings;
+  if (!fresh) {
+    ++index_rebuilds_;
+    (void)built.WriteTo(idx_path);  // best effort — rebuilt again next open
+  }
+  seg->fence_interval = built.fencepost_interval;
+  seg->fenceposts = std::move(built.fenceposts);
+  seg->min_timestamp_us = built.min_timestamp_us;
+  seg->max_timestamp_us = built.max_timestamp_us;
+  seg->postings = std::move(built.postings);
   *out = std::move(seg);
   return Status::OK();
 }
@@ -575,7 +659,40 @@ Status SegmentedDiskBackend::Flush() {
   if (ops_->Fsync(active_fd_) != 0) {
     return IOErrorFor("cannot sync active segment", path);
   }
+  // Durability point: also refresh the .idx of sealed segments whose
+  // postings drifted (template pwrites), so a clean restart loads them
+  // without a rebuild.
+  RewriteDirtyIndexes();
   return Status::OK();
+}
+
+void SegmentedDiskBackend::RewriteDirtyIndexes() {
+  for (size_t si = 0; si < sealed_->size(); ++si) {
+    const SealedSegment& seg = *(*sealed_)[si];
+    if (!seg.index_dirty) continue;
+    SegmentCache::Pin pin;
+    if (!PinSegment(seg, &pin).ok()) continue;  // stays dirty; retried later
+    // tid_fold is order-dependent, so it cannot be patched
+    // incrementally like the postings — recompute it (and everything
+    // else, for symmetry with the open-time rebuild) with a
+    // header-only hop over the frames.
+    SegmentIndex idx;
+    idx.fencepost_interval = seg.fence_interval;
+    size_t off = 0;
+    for (uint64_t r = 0; r < seg.records; ++r) {
+      uint32_t len;
+      uint64_t ts;
+      TemplateId tid;
+      std::memcpy(&len, pin.data() + off, 4);
+      std::memcpy(&ts, pin.data() + off + 4, 8);
+      std::memcpy(&tid, pin.data() + off + kFrameTidOffset, 8);
+      idx.AddRecord(off, ts, tid);
+      off += kFrameHeaderBytes + len;
+    }
+    if (idx.WriteTo(SegmentIndexPath(config_.directory, si)).ok()) {
+      seg.index_dirty = false;
+    }
+  }
 }
 
 Status SegmentedDiskBackend::SealActiveLocked() {
@@ -597,20 +714,29 @@ Status SegmentedDiskBackend::SealActiveImplLocked() {
     const std::string path = SegmentPath(active_index_);
     const int fd = ::open(path.c_str(), O_RDWR);
     if (fd < 0) return IOErrorFor("cannot reopen sealed segment", path);
-    void* map = ::mmap(nullptr, static_cast<size_t>(active_bytes_), PROT_READ,
-                       MAP_SHARED, fd, 0);
-    if (map == MAP_FAILED) {
-      ::close(fd);
-      return IOErrorFor("cannot mmap sealed segment", path);
-    }
     auto built = std::make_shared<SealedSegment>();
     built->first_seq = first_seq;
     built->records = active_count();
     built->checksum = active_checksum_fold_;
-    built->map = static_cast<const char*>(map);
-    built->map_len = static_cast<size_t>(active_bytes_);
-    built->offsets = std::move(active_offsets_);
+    built->data_len = static_cast<size_t>(active_bytes_);
     built->fd = fd;
+    // Registered but NOT mapped: the first query that needs this
+    // segment faults it into the cache. The sparse index is built from
+    // the mirror (the Flush above already patched every dirty template
+    // id onto the file, so mirror and file agree) and persisted beside
+    // the segment — best effort, Open rebuilds it if it goes missing.
+    built->entry = cache_->Register(fd, built->data_len, cache_owner_);
+    SegmentIndex idx;
+    for (size_t i = 0; i < active_.size(); ++i) {
+      idx.AddRecord(active_offsets_[i], active_[i].timestamp_us,
+                    active_[i].template_id);
+    }
+    (void)idx.WriteTo(SegmentIndexPath(config_.directory, active_index_));
+    built->fence_interval = idx.fencepost_interval;
+    built->fenceposts = std::move(idx.fenceposts);
+    built->min_timestamp_us = idx.min_timestamp_us;
+    built->max_timestamp_us = idx.max_timestamp_us;
+    built->postings = std::move(idx.postings);
     seg = std::move(built);
   }
 
@@ -622,7 +748,7 @@ Status SegmentedDiskBackend::SealActiveImplLocked() {
   sealed_first_seqs_.push_back(first_seq);
   sealed_records_ += seg->records;
 
-  // The segment is now served by the mmap; release the mirror.
+  // The segment is now served through the cache; release the mirror.
   std::vector<LogRecord>().swap(active_);
   std::string().swap(write_buffer_);
   active_offsets_.clear();
@@ -652,7 +778,10 @@ Status SegmentedDiskBackend::Read(uint64_t seq, LogRecord* out) const {
                                    sealed_first_seqs_.end(), seq);
   const SealedSegment& seg =
       *(*sealed_)[static_cast<size_t>(it - sealed_first_seqs_.begin()) - 1];
-  MaterializeFrame(seg.map + seg.offsets[seq - seg.first_seq], out);
+  SegmentCache::Pin pin;
+  BB_RETURN_IF_ERROR(PinSegment(seg, &pin));
+  MaterializeFrame(
+      pin.data() + SeekOffset(pin.data(), seg, seq - seg.first_seq), out);
   return Status::OK();
 }
 
@@ -669,14 +798,99 @@ Status SegmentedDiskBackend::Scan(
     if (seg->first_seq >= end) break;
     const uint64_t lo = std::max(begin, seg->first_seq);
     const uint64_t hi = std::min(end, seg_end);
+    SegmentCache::Pin pin;
+    BB_RETURN_IF_ERROR(PinSegment(*seg, &pin));
+    size_t off = SeekOffset(pin.data(), *seg, lo - seg->first_seq);
     for (uint64_t seq = lo; seq < hi; ++seq) {
-      MaterializeFrame(seg->map + seg->offsets[seq - seg->first_seq],
-                       &scratch);
+      MaterializeFrame(pin.data() + off, &scratch);
+      ++scan_visits_;
       fn(seq, scratch);
+      off += kFrameHeaderBytes + scratch.text.size();
     }
   }
   for (uint64_t seq = std::max(begin, sealed_records_); seq < end; ++seq) {
+    ++scan_visits_;
     fn(seq, active_[seq - sealed_records_]);
+  }
+  return Status::OK();
+}
+
+Status SegmentedDiskBackend::TemplateCounts(
+    uint64_t begin, uint64_t end,
+    std::unordered_map<TemplateId, uint64_t>* counts) const {
+  end = std::min(end, size());
+  for (const auto& seg : *sealed_) {
+    const uint64_t seg_end = seg->first_seq + seg->records;
+    if (seg_end <= begin) continue;
+    if (seg->first_seq >= end) break;
+    const uint64_t lo = std::max(begin, seg->first_seq);
+    const uint64_t hi = std::min(end, seg_end);
+    if (lo == seg->first_seq && hi == seg_end) {
+      // Fully covered: answer from the postings — no pin, no mapping,
+      // no record bytes touched.
+      for (const auto& [tid, n] : seg->postings) (*counts)[tid] += n;
+      continue;
+    }
+    // Partial coverage: header-only hop over the covered frames.
+    SegmentCache::Pin pin;
+    BB_RETURN_IF_ERROR(PinSegment(*seg, &pin));
+    size_t off = SeekOffset(pin.data(), *seg, lo - seg->first_seq);
+    for (uint64_t seq = lo; seq < hi; ++seq) {
+      uint32_t len;
+      TemplateId tid;
+      std::memcpy(&len, pin.data() + off, 4);
+      std::memcpy(&tid, pin.data() + off + kFrameTidOffset, 8);
+      ++scan_visits_;
+      ++(*counts)[tid];
+      off += kFrameHeaderBytes + len;
+    }
+  }
+  for (uint64_t seq = std::max(begin, sealed_records_); seq < end; ++seq) {
+    ++scan_visits_;
+    ++(*counts)[active_[seq - sealed_records_].template_id];
+  }
+  return Status::OK();
+}
+
+Status SegmentedDiskBackend::ScanTemplates(
+    uint64_t begin, uint64_t end, const std::unordered_set<TemplateId>& ids,
+    const std::function<void(uint64_t, TemplateId)>& fn) const {
+  end = std::min(end, size());
+  for (const auto& seg : *sealed_) {
+    const uint64_t seg_end = seg->first_seq + seg->records;
+    if (seg_end <= begin) continue;
+    if (seg->first_seq >= end) break;
+    // Postings check BEFORE any pin: a segment holding none of the
+    // wanted templates is skipped without being mapped at all — this
+    // is what keeps template-filtered queries over a mostly-cold topic
+    // from faulting the whole topic into the cache.
+    bool overlaps = false;
+    for (TemplateId tid : ids) {
+      if (seg->postings.count(tid) != 0) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) continue;
+    const uint64_t lo = std::max(begin, seg->first_seq);
+    const uint64_t hi = std::min(end, seg_end);
+    SegmentCache::Pin pin;
+    BB_RETURN_IF_ERROR(PinSegment(*seg, &pin));
+    size_t off = SeekOffset(pin.data(), *seg, lo - seg->first_seq);
+    for (uint64_t seq = lo; seq < hi; ++seq) {
+      uint32_t len;
+      TemplateId tid;
+      std::memcpy(&len, pin.data() + off, 4);
+      std::memcpy(&tid, pin.data() + off + kFrameTidOffset, 8);
+      ++scan_visits_;
+      if (ids.count(tid) != 0) fn(seq, tid);
+      off += kFrameHeaderBytes + len;
+    }
+  }
+  for (uint64_t seq = std::max(begin, sealed_records_); seq < end; ++seq) {
+    ++scan_visits_;
+    const TemplateId tid = active_[seq - sealed_records_].template_id;
+    if (ids.count(tid) != 0) fn(seq, tid);
   }
   return Status::OK();
 }
@@ -700,13 +914,22 @@ Status SegmentedDiskBackend::AssignTemplate(uint64_t seq,
   const size_t seg_index =
       static_cast<size_t>(it - sealed_first_seqs_.begin()) - 1;
   const SealedSegment& seg = *(*sealed_)[seg_index];
-  const off_t off = static_cast<off_t>(seg.offsets[seq - seg.first_seq] +
-                                       kFrameTidOffset);
+  SegmentCache::Pin pin;
+  BB_RETURN_IF_ERROR(PinSegment(seg, &pin));
+  const size_t off =
+      SeekOffset(pin.data(), seg, seq - seg.first_seq) + kFrameTidOffset;
+  TemplateId current;
+  std::memcpy(&current, pin.data() + off, 8);
+  if (current == template_id) return Status::OK();
   // MAP_SHARED keeps the read-only mapping coherent with this write;
   // frame checksums exclude the template id by design.
-  if (ops_->PWrite(seg.fd, &template_id, 8, static_cast<uint64_t>(off)) != 8) {
+  if (ops_->PWrite(seg.fd, &template_id, 8, off) != 8) {
     return IOErrorFor("cannot patch template id", SegmentPath(seg_index));
   }
+  auto pit = seg.postings.find(current);
+  if (pit != seg.postings.end() && --pit->second == 0) seg.postings.erase(pit);
+  ++seg.postings[template_id];
+  seg.index_dirty = true;
   return Status::OK();
 }
 
@@ -719,7 +942,7 @@ Status SegmentedDiskBackend::AssignTemplates(
   // Sealed part: walk the segments in order (the range is contiguous —
   // no per-record binary search) and pwrite only ids that actually
   // changed; after a model merge most established assignments are
-  // unchanged, so the common case costs one mmap read per record.
+  // unchanged, so the common case costs one mapped read per record.
   for (size_t si = 0; si < sealed_->size(); ++si) {
     const SealedSegment& seg = *(*sealed_)[si];
     const uint64_t seg_end = seg.first_seq + seg.records;
@@ -727,15 +950,27 @@ Status SegmentedDiskBackend::AssignTemplates(
     if (seg.first_seq >= end_seq) break;
     const uint64_t lo = std::max(begin_seq, seg.first_seq);
     const uint64_t hi = std::min(end_seq, seg_end);
+    SegmentCache::Pin pin;
+    BB_RETURN_IF_ERROR(PinSegment(seg, &pin));
+    size_t off = SeekOffset(pin.data(), seg, lo - seg.first_seq);
     for (uint64_t seq = lo; seq < hi; ++seq) {
-      const uint64_t off = seg.offsets[seq - seg.first_seq] + kFrameTidOffset;
+      uint32_t len;
+      std::memcpy(&len, pin.data() + off, 4);
       const TemplateId id = ids[seq - begin_seq];
       TemplateId current;
-      std::memcpy(&current, seg.map + off, 8);
-      if (current == id) continue;
-      if (ops_->PWrite(seg.fd, &id, 8, off) != 8) {
-        return IOErrorFor("cannot patch template id", SegmentPath(si));
+      std::memcpy(&current, pin.data() + off + kFrameTidOffset, 8);
+      if (current != id) {
+        if (ops_->PWrite(seg.fd, &id, 8, off + kFrameTidOffset) != 8) {
+          return IOErrorFor("cannot patch template id", SegmentPath(si));
+        }
+        auto pit = seg.postings.find(current);
+        if (pit != seg.postings.end() && --pit->second == 0) {
+          seg.postings.erase(pit);
+        }
+        ++seg.postings[id];
+        seg.index_dirty = true;
       }
+      off += kFrameHeaderBytes + len;
     }
   }
   for (uint64_t seq = std::max(begin_seq, sealed_records_); seq < end_seq;
@@ -752,9 +987,10 @@ Status SegmentedDiskBackend::AssignTemplates(
 Status SegmentedDiskBackend::Clear() {
   CloseActiveFile();
   const uint64_t total_segments = active_index_ + 1;
-  // Outstanding views keep their maps alive via the shared set; the
-  // directory entries can go away underneath them (POSIX keeps mapped
-  // file bytes reachable until the last unmap).
+  // Outstanding views keep their segments alive (open fds + pinned or
+  // re-pinnable cache entries) via the shared set; the directory
+  // entries can go away underneath them (POSIX keeps the bytes of an
+  // open-or-mapped unlinked file reachable).
   sealed_ = std::make_shared<SealedSet>();
   sealed_first_seqs_.clear();
   sealed_records_ = 0;
@@ -769,6 +1005,7 @@ Status SegmentedDiskBackend::Clear() {
   io_error_ = Status::OK();  // new files: the old failure no longer applies
   for (uint64_t i = 0; i < total_segments; ++i) {
     std::remove(SegmentPath(i).c_str());
+    std::remove(SegmentIndexPath(config_.directory, i).c_str());
   }
   active_index_ = 0;
   wal_scratch_.clear();
@@ -791,7 +1028,7 @@ Status SegmentedDiskBackend::Checkpoint(std::string_view metadata) {
 
 std::shared_ptr<const SealedRecordView> SegmentedDiskBackend::SnapshotSealed()
     const {
-  return std::make_shared<View>(sealed_, sealed_records_);
+  return std::make_shared<View>(sealed_, sealed_records_, cache_);
 }
 
 Status SegmentedDiskBackend::WaitDurable() {

@@ -1,6 +1,6 @@
 // Segmented on-disk topic storage (ROADMAP "Multi-topic storage
 // backends"; see ARCHITECTURE.md §5 for the format and the recovery
-// protocol).
+// protocol, §8 for the sparse index and the segment cache).
 //
 // Layout of a topic directory:
 //   MANIFEST            sealed-segment catalog + metadata blob, atomic
@@ -8,6 +8,11 @@
 //   seg-000000.log ...  fixed-size segment files of record frames; the
 //                       file AFTER the last manifest entry is the
 //                       active (append) segment
+//   seg-000000.idx ...  per-sealed-segment sparse index (fenceposts +
+//                       template postings + time range; see
+//                       logstore/segment_index.h). Derived data:
+//                       missing/corrupt/stale files are rebuilt at
+//                       Open from the verified segment, never an error
 //   wal-NNNNNN.log      tail write-ahead log for the active segment
 //                       (StorageConfig::durability != kNone only; see
 //                       logstore/wal.h — rotated at every seal)
@@ -18,12 +23,19 @@
 //   text_len u32 | timestamp u64 | template_id u64 | checksum u64 | text
 //
 // Sealed segments are immutable except for 8-byte template-id rewrites
-// (pwrite; excluded from every checksum) and are mmap'd read-only, so
-// scans are zero-copy and training snapshots can read them with no
-// topic lock held (SealedRecordView). The active segment is buffered in
-// memory and streamed to its file; a crash loses at most the unflushed
-// suffix, and recovery truncates the torn tail frame-by-frame while
-// every sealed byte is checksum-verified against the manifest.
+// (pwrite; excluded from every checksum). Their mappings live in a
+// SegmentCache (segment_cache.h): mapped on first use, LRU-evicted
+// under a process-wide byte budget, and pinned while any reader needs
+// them — so scans are still zero-copy and training snapshots still
+// read sealed windows with no topic lock held (SealedRecordView holds
+// pins for its lifetime), but a fleet of topics no longer keeps every
+// sealed byte mapped forever. Record lookup within a segment seeks via
+// the index's fenceposts (byte offset of every K-th frame) and hops at
+// most K-1 frame headers, replacing the per-record offset table. The
+// active segment is buffered in memory and streamed to its file; a
+// crash loses at most the unflushed suffix, and recovery truncates the
+// torn tail frame-by-frame while every sealed byte is checksum-verified
+// against the manifest.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +44,8 @@
 #include <string>
 #include <vector>
 
+#include "logstore/segment_cache.h"
+#include "logstore/segment_index.h"
 #include "logstore/storage_backend.h"
 
 namespace bytebrain {
@@ -59,6 +73,12 @@ class SegmentedDiskBackend : public StorageBackend {
   Status AssignTemplate(uint64_t seq, TemplateId template_id) override;
   Status AssignTemplates(uint64_t begin_seq,
                          const std::vector<TemplateId>& ids) override;
+  Status TemplateCounts(
+      uint64_t begin, uint64_t end,
+      std::unordered_map<TemplateId, uint64_t>* counts) const override;
+  Status ScanTemplates(
+      uint64_t begin, uint64_t end, const std::unordered_set<TemplateId>& ids,
+      const std::function<void(uint64_t, TemplateId)>& fn) const override;
   Status Clear() override;
   Status Flush() override;
   Status Checkpoint(std::string_view metadata) override;
@@ -67,6 +87,11 @@ class SegmentedDiskBackend : public StorageBackend {
   bool persistent() const override { return true; }
   uint64_t sealed_segment_count() const override;
   uint64_t mapped_bytes() const override;
+  uint64_t cache_hits() const override;
+  uint64_t cache_misses() const override;
+  uint64_t cache_evictions() const override;
+  uint64_t index_rebuilds() const override { return index_rebuilds_; }
+  uint64_t scan_record_visits() const override { return scan_visits_; }
   Status WaitDurable() override;
   uint64_t wal_bytes() const override;
   uint64_t wal_group_commits() const override;
@@ -74,20 +99,31 @@ class SegmentedDiskBackend : public StorageBackend {
   uint64_t wal_replayed_records() const override { return wal_replayed_; }
 
  private:
-  /// One sealed, mmap'd segment. Immutable after construction except
-  /// for template-id pwrites (under the topic lock; off-lock readers
-  /// never touch those bytes). Shared by the backend and every
-  /// outstanding SealedRecordView, so Clear() cannot unmap under a
-  /// concurrent training scan.
+  /// One sealed segment. Immutable after construction except for
+  /// template-id pwrites and the derived index state they maintain
+  /// (`postings`, `index_dirty` — mutated only under the topic lock;
+  /// off-lock readers never touch either). The record bytes are mapped
+  /// on demand through `entry` (segment_cache.h); the struct is shared
+  /// by the backend and every outstanding SealedRecordView, so Clear()
+  /// cannot retire the file under a concurrent training scan.
   struct SealedSegment {
     ~SealedSegment();
     uint64_t first_seq = 0;
     uint64_t records = 0;
-    uint64_t checksum = 0;  // fold of frame checksums (manifest copy)
-    const char* map = nullptr;
-    size_t map_len = 0;
-    std::vector<uint64_t> offsets;  // frame start offset per record
-    int fd = -1;                    // kept open for AssignTemplate
+    uint64_t checksum = 0;   // fold of frame checksums (manifest copy)
+    size_t data_len = 0;     // frame bytes in the segment file
+    int fd = -1;             // kept open for AssignTemplate pwrites
+    SegmentCache::EntryPtr entry;  // cache handle; maps lazily on pin
+    /// Sparse index (segment_index.h). Fenceposts and the time range
+    /// never change after sealing; postings track template rewrites.
+    uint64_t fence_interval = SegmentIndex::kDefaultInterval;
+    std::vector<uint64_t> fenceposts;
+    uint64_t min_timestamp_us = 0;
+    uint64_t max_timestamp_us = 0;
+    mutable std::unordered_map<TemplateId, uint64_t> postings;
+    /// Set when a template pwrite stales the persisted .idx; the next
+    /// Flush/Checkpoint rewrites the file (see RewriteDirtyIndexes).
+    mutable bool index_dirty = false;
   };
   using SealedSet = std::vector<std::shared_ptr<const SealedSegment>>;
 
@@ -96,6 +132,16 @@ class SegmentedDiskBackend : public StorageBackend {
   std::string SegmentPath(uint64_t index) const;
   std::string ManifestPath() const;
   uint64_t active_count() const { return active_offsets_.size(); }
+  /// Byte offset of record `ridx` within the mapped segment `data`:
+  /// seek to the nearest fencepost, hop at most K-1 frame headers.
+  static size_t SeekOffset(const char* data, const SealedSegment& seg,
+                           uint64_t ridx);
+  /// Maps (or LRU-bumps) the segment through the cache.
+  Status PinSegment(const SealedSegment& seg, SegmentCache::Pin* pin) const;
+  /// Rewrites the .idx of every sealed segment whose postings drifted
+  /// from the persisted file (template pwrites). Best effort — the
+  /// index is derived data and Open rebuilds it anyway.
+  void RewriteDirtyIndexes();
   /// Shared core of Append/AppendBatch: mirrors one record, buffers its
   /// frame while `*buffering` (into the write buffer AND the WAL
   /// scratch when a WAL is configured), runs the drain/seal checks; a
@@ -116,8 +162,8 @@ class SegmentedDiskBackend : public StorageBackend {
                            std::shared_ptr<const SealedSegment>* out);
   Status RecoverActiveSegment();
   Status OpenActiveFile();
-  /// Seals the active segment (flush + fsync + mmap + manifest + new
-  /// active file). Any failure goes sticky via io_error_: a seal
+  /// Seals the active segment (flush + fsync + index write + manifest +
+  /// new active file). Any failure goes sticky via io_error_: a seal
   /// cannot be retried halfway (the active file may already be closed),
   /// so the backend degrades to mirror-only appends instead.
   Status SealActiveLocked();
@@ -128,6 +174,11 @@ class SegmentedDiskBackend : public StorageBackend {
   /// Syscall shim for every data-path write/pwrite/fsync (fault
   /// injection); RealFileOps() unless the config supplies one.
   FileOps* ops_ = nullptr;
+  /// Buffer pool for sealed-segment mappings; SegmentCache::Global()
+  /// unless the config supplies one. cache_owner_ is this backend's
+  /// slice of its counters (shared with the entries it registers).
+  SegmentCache* cache_ = nullptr;
+  std::shared_ptr<SegmentCache::OwnerStats> cache_owner_;
   bool opened_ = false;
 
   /// Tail WAL (config_.durability != kNone): internally synchronized,
@@ -167,17 +218,22 @@ class SegmentedDiskBackend : public StorageBackend {
 
   uint64_t text_bytes_ = 0;
   std::string metadata_;
+  /// Sealed-segment indexes rebuilt at Open (.idx missing/corrupt/
+  /// stale) and records touched by Scan/ScanTemplates/partial
+  /// TemplateCounts — see StorageBackend for the contract.
+  uint64_t index_rebuilds_ = 0;
+  mutable uint64_t scan_visits_ = 0;
   /// Sticky first append-path IO failure (disk full, lost mount, seal
   /// failure). Once set, appends stop touching the file entirely — new
   /// records live only in the active in-memory mirror (fail-soft:
-  /// sealed mmaps keep serving, nothing is re-copied, nothing seals) —
-  /// and Flush/Checkpoint report this error instead of fsyncing a
-  /// store whose tail is torn. NOTE the tradeoff: post-failure appends
-  /// accumulate in RAM exactly like a memory backend, so a topic that
-  /// keeps ingesting against a dead disk grows unboundedly; callers
-  /// watch LogTopic::storage_status() / TopicStats::storage_ok and
-  /// decide (the alternative — dropping records — would corrupt
-  /// sequence numbering).
+  /// sealed segments keep serving, nothing is re-copied, nothing
+  /// seals) — and Flush/Checkpoint report this error instead of
+  /// fsyncing a store whose tail is torn. NOTE the tradeoff:
+  /// post-failure appends accumulate in RAM exactly like a memory
+  /// backend, so a topic that keeps ingesting against a dead disk
+  /// grows unboundedly; callers watch LogTopic::storage_status() /
+  /// TopicStats::storage_ok and decide (the alternative — dropping
+  /// records — would corrupt sequence numbering).
   Status io_error_;
 };
 

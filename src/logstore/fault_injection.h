@@ -128,6 +128,16 @@ class FaultInjectingBackend : public StorageBackend {
                          const std::vector<TemplateId>& ids) override {
     return inner_->AssignTemplates(begin_seq, ids);
   }
+  Status TemplateCounts(
+      uint64_t begin, uint64_t end,
+      std::unordered_map<TemplateId, uint64_t>* counts) const override {
+    return inner_->TemplateCounts(begin, end, counts);
+  }
+  Status ScanTemplates(
+      uint64_t begin, uint64_t end, const std::unordered_set<TemplateId>& ids,
+      const std::function<void(uint64_t, TemplateId)>& fn) const override {
+    return inner_->ScanTemplates(begin, end, ids, fn);
+  }
   Status Clear() override { return inner_->Clear(); }
   Status Flush() override;
   Status Checkpoint(std::string_view metadata) override;
@@ -140,6 +150,15 @@ class FaultInjectingBackend : public StorageBackend {
     return inner_->sealed_segment_count();
   }
   uint64_t mapped_bytes() const override { return inner_->mapped_bytes(); }
+  uint64_t cache_hits() const override { return inner_->cache_hits(); }
+  uint64_t cache_misses() const override { return inner_->cache_misses(); }
+  uint64_t cache_evictions() const override {
+    return inner_->cache_evictions();
+  }
+  uint64_t index_rebuilds() const override { return inner_->index_rebuilds(); }
+  uint64_t scan_record_visits() const override {
+    return inner_->scan_record_visits();
+  }
   Status WaitDurable() override { return inner_->WaitDurable(); }
   uint64_t wal_bytes() const override { return inner_->wal_bytes(); }
   uint64_t wal_group_commits() const override {

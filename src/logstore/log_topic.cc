@@ -210,6 +210,29 @@ Status LogTopic::AssignTemplateRange(uint64_t begin_seq,
   return store_->AssignTemplates(begin_seq, ids);
 }
 
+Status LogTopic::TemplateCounts(
+    uint64_t begin_seq, uint64_t end_seq,
+    std::unordered_map<TemplateId, uint64_t>* counts) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (begin_seq > end_seq) {
+    return Status::InvalidArgument("begin_seq > end_seq");
+  }
+  return store_->TemplateCounts(begin_seq, std::min(end_seq, store_->size()),
+                                counts);
+}
+
+Status LogTopic::ScanTemplates(
+    uint64_t begin_seq, uint64_t end_seq,
+    const std::unordered_set<TemplateId>& ids,
+    const std::function<void(uint64_t, TemplateId)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (begin_seq > end_seq) {
+    return Status::InvalidArgument("begin_seq > end_seq");
+  }
+  return store_->ScanTemplates(begin_seq, std::min(end_seq, store_->size()),
+                               ids, fn);
+}
+
 std::shared_ptr<const SealedRecordView> LogTopic::SnapshotSealed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return store_->SnapshotSealed();
@@ -233,6 +256,31 @@ uint64_t LogTopic::sealed_segment_count() const {
 uint64_t LogTopic::mapped_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return store_->mapped_bytes();
+}
+
+uint64_t LogTopic::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->cache_hits();
+}
+
+uint64_t LogTopic::cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->cache_misses();
+}
+
+uint64_t LogTopic::cache_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->cache_evictions();
+}
+
+uint64_t LogTopic::index_rebuilds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->index_rebuilds();
+}
+
+uint64_t LogTopic::scan_record_visits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->scan_record_visits();
 }
 
 uint64_t LogTopic::wal_bytes() const {

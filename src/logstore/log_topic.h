@@ -15,6 +15,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "logstore/log_record.h"
@@ -91,6 +92,22 @@ class LogTopic {
   Status AssignTemplateRange(uint64_t begin_seq,
                              const std::vector<TemplateId>& ids);
 
+  /// Per-template record counts over [begin_seq, end_seq) — the count
+  /// side of Query. Index-aware backends answer fully-covered sealed
+  /// segments from their postings without touching record bytes.
+  Status TemplateCounts(
+      uint64_t begin_seq, uint64_t end_seq,
+      std::unordered_map<TemplateId, uint64_t>* counts) const;
+
+  /// Invokes fn(seq, template_id) for records in [begin_seq, end_seq)
+  /// whose template id is in `ids` — the sequence-collection side of
+  /// Query. Index-aware backends skip sealed segments holding none of
+  /// the wanted templates without mapping them.
+  Status ScanTemplates(
+      uint64_t begin_seq, uint64_t end_seq,
+      const std::unordered_set<TemplateId>& ids,
+      const std::function<void(uint64_t, TemplateId)>& fn) const;
+
   /// Snapshot of the records currently SEALED on disk, scannable with
   /// no topic lock held (see SealedRecordView); nullptr when the
   /// backend has no off-lock-stable representation (memory store).
@@ -106,9 +123,16 @@ class LogTopic {
   /// was ever checkpointed or the backend is volatile).
   std::string recovered_metadata() const;
 
-  /// Storage observability (TopicStats::storage).
+  /// Storage observability (TopicStats::storage). mapped_bytes is the
+  /// backend's RESIDENT segment-cache bytes — what this topic actually
+  /// holds mapped right now, not the sum of its sealed files.
   uint64_t sealed_segment_count() const;
   uint64_t mapped_bytes() const;
+  uint64_t cache_hits() const;
+  uint64_t cache_misses() const;
+  uint64_t cache_evictions() const;
+  uint64_t index_rebuilds() const;
+  uint64_t scan_record_visits() const;
 
   /// WAL observability (TopicStats::wal_*); zeros without a WAL.
   uint64_t wal_bytes() const;

@@ -6,6 +6,45 @@
 
 namespace bytebrain {
 
+Status StorageBackend::AssignTemplates(uint64_t begin_seq,
+                                       const std::vector<TemplateId>& ids) {
+  if (ids.empty()) return Status::OK();
+  if (begin_seq + ids.size() > size()) {
+    return Status::NotFound("range beyond end of store");
+  }
+  // Honor the documented skip-unchanged contract here in the base so
+  // every backend gets it: one Scan reads the current ids, then only
+  // the records whose id actually changed pay a virtual AssignTemplate
+  // call (after a model merge most established assignments are
+  // unchanged).
+  std::vector<TemplateId> current(ids.size(), kInvalidTemplateId);
+  BB_RETURN_IF_ERROR(Scan(begin_seq, begin_seq + ids.size(),
+                          [&](uint64_t seq, const LogRecord& rec) {
+                            current[seq - begin_seq] = rec.template_id;
+                          }));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (current[i] == ids[i]) continue;
+    BB_RETURN_IF_ERROR(AssignTemplate(begin_seq + i, ids[i]));
+  }
+  return Status::OK();
+}
+
+Status StorageBackend::TemplateCounts(
+    uint64_t begin, uint64_t end,
+    std::unordered_map<TemplateId, uint64_t>* counts) const {
+  return Scan(begin, end, [counts](uint64_t, const LogRecord& rec) {
+    ++(*counts)[rec.template_id];
+  });
+}
+
+Status StorageBackend::ScanTemplates(
+    uint64_t begin, uint64_t end, const std::unordered_set<TemplateId>& ids,
+    const std::function<void(uint64_t, TemplateId)>& fn) const {
+  return Scan(begin, end, [&](uint64_t seq, const LogRecord& rec) {
+    if (ids.count(rec.template_id) != 0) fn(seq, rec.template_id);
+  });
+}
+
 MemoryBackend::MemoryBackend(size_t segment_capacity)
     : segment_capacity_(segment_capacity == 0 ? 1 : segment_capacity) {}
 
@@ -16,6 +55,7 @@ Status MemoryBackend::Append(LogRecord record) {
     segments_.back()->records.reserve(segment_capacity_);
   }
   text_bytes_ += record.text.size();
+  ++segments_.back()->postings[record.template_id];
   segments_.back()->records.push_back(std::move(record));
   ++count_;
   return Status::OK();
@@ -50,6 +90,7 @@ Status MemoryBackend::Scan(
     const std::function<void(uint64_t, const LogRecord&)>& fn) const {
   end = std::min(end, count_);
   for (uint64_t seq = begin; seq < end; ++seq) {
+    ++scan_visits_;
     fn(seq, *Locate(seq));
   }
   return Status::OK();
@@ -59,9 +100,13 @@ Status MemoryBackend::AssignTemplate(uint64_t seq, TemplateId template_id) {
   if (seq >= count_) {
     return Status::NotFound("sequence beyond end of store");
   }
-  const size_t seg = seq / segment_capacity_;
-  const size_t off = seq % segment_capacity_;
-  segments_[seg]->records[off].template_id = template_id;
+  Segment& seg = *segments_[seq / segment_capacity_];
+  LogRecord& rec = seg.records[seq % segment_capacity_];
+  if (rec.template_id == template_id) return Status::OK();
+  auto it = seg.postings.find(rec.template_id);
+  if (it != seg.postings.end() && --it->second == 0) seg.postings.erase(it);
+  ++seg.postings[template_id];
+  rec.template_id = template_id;
   return Status::OK();
 }
 
@@ -71,10 +116,61 @@ Status MemoryBackend::AssignTemplates(uint64_t begin_seq,
     return Status::NotFound("range beyond end of store");
   }
   for (size_t i = 0; i < ids.size(); ++i) {
-    const uint64_t seq = begin_seq + i;
-    segments_[seq / segment_capacity_]
-        ->records[seq % segment_capacity_]
-        .template_id = ids[i];
+    (void)AssignTemplate(begin_seq + i, ids[i]);  // in range; cannot fail
+  }
+  return Status::OK();
+}
+
+Status MemoryBackend::TemplateCounts(
+    uint64_t begin, uint64_t end,
+    std::unordered_map<TemplateId, uint64_t>* counts) const {
+  end = std::min(end, count_);
+  uint64_t seq = begin;
+  while (seq < end) {
+    const size_t si = seq / segment_capacity_;
+    const Segment& seg = *segments_[si];
+    const uint64_t seg_begin = static_cast<uint64_t>(si) * segment_capacity_;
+    const uint64_t seg_end = seg_begin + seg.records.size();
+    const uint64_t hi = std::min(end, seg_end);
+    if (seq == seg_begin && hi == seg_end) {
+      // Fully covered: answer from the segment's postings.
+      for (const auto& [tid, n] : seg.postings) (*counts)[tid] += n;
+    } else {
+      for (uint64_t s = seq; s < hi; ++s) {
+        ++scan_visits_;
+        ++(*counts)[seg.records[s - seg_begin].template_id];
+      }
+    }
+    seq = hi;
+  }
+  return Status::OK();
+}
+
+Status MemoryBackend::ScanTemplates(
+    uint64_t begin, uint64_t end, const std::unordered_set<TemplateId>& ids,
+    const std::function<void(uint64_t, TemplateId)>& fn) const {
+  end = std::min(end, count_);
+  uint64_t seq = begin;
+  while (seq < end) {
+    const size_t si = seq / segment_capacity_;
+    const Segment& seg = *segments_[si];
+    const uint64_t seg_begin = static_cast<uint64_t>(si) * segment_capacity_;
+    const uint64_t hi = std::min(end, seg_begin + seg.records.size());
+    bool overlaps = false;
+    for (TemplateId tid : ids) {
+      if (seg.postings.count(tid) != 0) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) {
+      for (uint64_t s = seq; s < hi; ++s) {
+        ++scan_visits_;
+        const TemplateId tid = seg.records[s - seg_begin].template_id;
+        if (ids.count(tid) != 0) fn(s, tid);
+      }
+    }
+    seq = hi;
   }
   return Status::OK();
 }

@@ -26,6 +26,8 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "logstore/log_record.h"
@@ -33,7 +35,8 @@
 
 namespace bytebrain {
 
-class FileOps;  // fault_injection.h
+class FileOps;       // fault_injection.h
+class SegmentCache;  // segment_cache.h
 
 /// What "acknowledged" means for an append (kSegmentedDisk only; see
 /// logstore/wal.h and ARCHITECTURE.md §Durability).
@@ -74,6 +77,11 @@ struct StorageConfig {
   /// FaultInjectingFileOps (fault_injection.h). Not owned; must outlive
   /// the backend.
   FileOps* file_ops = nullptr;
+  /// Buffer pool that sealed-segment mmaps are charged against
+  /// (kSegmentedDisk only). nullptr means the process-wide
+  /// SegmentCache::Global(). Not owned; must outlive the backend and
+  /// every SealedRecordView taken from it.
+  SegmentCache* segment_cache = nullptr;
 };
 
 /// An immutable snapshot of the records that were SEALED at snapshot
@@ -149,14 +157,30 @@ class StorageBackend {
   /// ids.size()): the training-commit path rewrites a whole window in
   /// one call, and backends skip records whose id is unchanged (after
   /// a model merge most established assignments are) instead of paying
-  /// per-record work for no-ops.
+  /// per-record work for no-ops. The base implementation honors the
+  /// skip contract for any backend: one Scan gathers the current ids,
+  /// then only the changed records pay a virtual AssignTemplate call.
   virtual Status AssignTemplates(uint64_t begin_seq,
-                                 const std::vector<TemplateId>& ids) {
-    for (size_t i = 0; i < ids.size(); ++i) {
-      BB_RETURN_IF_ERROR(AssignTemplate(begin_seq + i, ids[i]));
-    }
-    return Status::OK();
-  }
+                                 const std::vector<TemplateId>& ids);
+
+  /// Adds the number of records carrying each template id in [begin,
+  /// end) (clamped to size()) into `*counts` — the count-only query
+  /// path. The base implementation scans; indexed backends answer
+  /// fully-covered sealed segments from their postings without
+  /// touching (or even mapping) the record bytes.
+  virtual Status TemplateCounts(
+      uint64_t begin, uint64_t end,
+      std::unordered_map<TemplateId, uint64_t>* counts) const;
+
+  /// Invokes fn(seq, template_id) for each record in [begin, end)
+  /// (clamped to size()) whose CURRENT template id is in `ids` — the
+  /// template-filtered query path (sequence-number collection). The
+  /// base implementation scans and filters; indexed backends skip
+  /// sealed segments whose postings contain none of `ids` and read
+  /// only frame headers in the rest.
+  virtual Status ScanTemplates(
+      uint64_t begin, uint64_t end, const std::unordered_set<TemplateId>& ids,
+      const std::function<void(uint64_t, TemplateId)>& fn) const;
 
   /// Drops every record (and any persisted state) — the bulk-import
   /// path of LogTopic::RecoverFrom.
@@ -193,7 +217,22 @@ class StorageBackend {
 
   /// Observability (TopicStats::storage); zeros for volatile backends.
   virtual uint64_t sealed_segment_count() const { return 0; }
+  /// Bytes of sealed-segment data currently resident (mapped) in the
+  /// segment cache on this backend's behalf — truthful under eviction,
+  /// unlike the pre-cache "every sealed byte forever" number.
   virtual uint64_t mapped_bytes() const { return 0; }
+  /// Segment-cache accounting attributed to this backend; zeros for
+  /// backends that do not use the cache.
+  virtual uint64_t cache_hits() const { return 0; }
+  virtual uint64_t cache_misses() const { return 0; }
+  virtual uint64_t cache_evictions() const { return 0; }
+  /// Sealed-segment sparse indexes rebuilt at Open (missing, corrupt,
+  /// or stale .idx files).
+  virtual uint64_t index_rebuilds() const { return 0; }
+  /// Records materialized or filtered by Scan/ScanTemplates/partial
+  /// TemplateCounts since Open — the query-cost meter the pagination
+  /// regression test asserts on. Postings-answered counts add nothing.
+  virtual uint64_t scan_record_visits() const { return 0; }
   /// WAL observability (TopicStats::wal_*); zeros when no WAL is
   /// configured. Like WaitDurable, safe to call without the topic lock.
   virtual uint64_t wal_bytes() const { return 0; }
@@ -219,15 +258,27 @@ class MemoryBackend : public StorageBackend {
   Status AssignTemplate(uint64_t seq, TemplateId template_id) override;
   Status AssignTemplates(uint64_t begin_seq,
                          const std::vector<TemplateId>& ids) override;
+  Status TemplateCounts(
+      uint64_t begin, uint64_t end,
+      std::unordered_map<TemplateId, uint64_t>* counts) const override;
+  Status ScanTemplates(
+      uint64_t begin, uint64_t end, const std::unordered_set<TemplateId>& ids,
+      const std::function<void(uint64_t, TemplateId)>& fn) const override;
   Status Clear() override;
   Status Flush() override { return Status::OK(); }
   Status Checkpoint(std::string_view metadata) override;
   const std::string& metadata() const override { return metadata_; }
   bool persistent() const override { return false; }
+  uint64_t scan_record_visits() const override { return scan_visits_; }
 
  private:
   struct Segment {
     std::vector<LogRecord> records;
+    // Per-segment template-id counts, maintained by Append and
+    // AssignTemplate(s) — the in-memory analogue of the disk backend's
+    // persisted postings, so memory topics get the same
+    // postings-answered count queries and segment skipping.
+    std::unordered_map<TemplateId, uint64_t> postings;
   };
 
   const LogRecord* Locate(uint64_t seq) const;
@@ -237,6 +288,7 @@ class MemoryBackend : public StorageBackend {
   uint64_t count_ = 0;
   uint64_t text_bytes_ = 0;
   std::string metadata_;
+  mutable uint64_t scan_visits_ = 0;
 };
 
 /// Builds the backend selected by `config` (not yet Open()ed).

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/tokenizer.h"
 #include "regex/regex.h"
@@ -1002,41 +1003,117 @@ void ManagedTopic::MaybeFlushStorageCheckpoint() {
 Result<std::vector<TemplateGroup>> ManagedTopic::Query(
     double saturation_threshold, uint64_t begin_seq, uint64_t end_seq,
     bool collect_sequences) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  std::unordered_map<TemplateId, TemplateGroup> groups;
-  const Status scan_status = topic_.Scan(
-      begin_seq, std::min(end_seq, topic_.size()),
-      [&](uint64_t seq, const LogRecord& rec) {
-        TemplateId resolved = rec.template_id;
-        if (resolved != kInvalidTemplateId) {
-          auto r = parser_.ResolveAtThreshold(resolved, saturation_threshold);
-          if (r.ok()) resolved = r.value();
-        }
-        TemplateGroup& g = groups[resolved];
-        if (g.count == 0) {
-          g.template_id = resolved;
-          if (resolved != kInvalidTemplateId) {
-            g.template_text = parser_.MergedWildcardText(resolved);
-            const TreeNode* node = parser_.model().node(resolved);
-            if (node != nullptr) g.saturation = node->saturation;
-          } else {
-            g.template_text = "<unparsed>";
-          }
-        }
-        ++g.count;
-        if (collect_sequences) g.sequence_numbers.push_back(seq);
-      });
-  BB_RETURN_IF_ERROR(scan_status);
+  QueryPageRequest req;
+  req.saturation_threshold = saturation_threshold;
+  req.begin_seq = begin_seq;
+  req.end_seq = end_seq;
+  req.collect_sequences = collect_sequences;
+  auto page = QueryGroups(req);
+  BB_RETURN_IF_ERROR(page.status());
+  return std::move(page.value().groups);
+}
 
-  std::vector<TemplateGroup> out;
-  out.reserve(groups.size());
-  for (auto& [id, g] : groups) out.push_back(std::move(g));
-  std::sort(out.begin(), out.end(),
-            [](const TemplateGroup& a, const TemplateGroup& b) {
-              if (a.count != b.count) return a.count > b.count;
-              return a.template_id < b.template_id;
-            });
-  return out;
+Result<QueryPage> ManagedTopic::QueryGroups(const QueryPageRequest& req) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const uint64_t end = std::min(req.end_seq, topic_.size());
+  const uint64_t begin = std::min(req.begin_seq, end);
+
+  // Counts per RAW stored template id, from the storage postings —
+  // fully-sealed windows are answered without touching record bytes.
+  std::unordered_map<TemplateId, uint64_t> raw_counts;
+  BB_RETURN_IF_ERROR(topic_.TemplateCounts(begin, end, &raw_counts));
+
+  // Resolution at the threshold depends only on the template id, so it
+  // runs once per DISTINCT raw id — not once per record as the old
+  // scan-grouping path did.
+  std::unordered_map<TemplateId, TemplateId> resolved_of;
+  std::unordered_map<TemplateId, uint64_t> group_counts;
+  resolved_of.reserve(raw_counts.size());
+  for (const auto& [raw, n] : raw_counts) {
+    TemplateId resolved = raw;
+    if (raw != kInvalidTemplateId) {
+      auto r = parser_.ResolveAtThreshold(raw, req.saturation_threshold);
+      if (r.ok()) resolved = r.value();
+    }
+    resolved_of.emplace(raw, resolved);
+    group_counts[resolved] += n;
+  }
+
+  // Global page order: count desc, id asc — over (count, id) pairs
+  // only; nothing per page is materialized yet.
+  struct Key {
+    uint64_t count;
+    TemplateId tid;
+  };
+  const auto before = [](const Key& a, const Key& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.tid < b.tid;
+  };
+  std::vector<Key> order;
+  order.reserve(group_counts.size());
+  for (const auto& [tid, n] : group_counts) order.push_back({n, tid});
+  std::sort(order.begin(), order.end(), before);
+
+  QueryPage page;
+  page.total_groups = order.size();
+
+  // Page start: the resume key seeks directly to the first group after
+  // the previous page's last — O(log groups), and exact for a pinned
+  // window. The positional offset is the fallback for legacy cursors.
+  size_t start;
+  if (req.has_resume_key) {
+    const Key key{req.resume_count, req.resume_template_id};
+    start = static_cast<size_t>(
+        std::upper_bound(order.begin(), order.end(), key, before) -
+        order.begin());
+  } else {
+    start = std::min<size_t>(req.offset, order.size());
+  }
+  size_t stop = order.size();
+  if (req.max_groups > 0) {
+    stop = std::min(stop, start + static_cast<size_t>(req.max_groups));
+  }
+
+  // Materialize ONLY this page's groups (template text + saturation).
+  std::unordered_map<TemplateId, size_t> page_index;
+  page.groups.reserve(stop - start);
+  for (size_t i = start; i < stop; ++i) {
+    TemplateGroup g;
+    g.template_id = order[i].tid;
+    g.count = order[i].count;
+    if (g.template_id != kInvalidTemplateId) {
+      g.template_text = parser_.MergedWildcardText(g.template_id);
+      const TreeNode* node = parser_.model().node(g.template_id);
+      if (node != nullptr) g.saturation = node->saturation;
+    } else {
+      g.template_text = "<unparsed>";
+    }
+    page_index.emplace(g.template_id, page.groups.size());
+    page.groups.push_back(std::move(g));
+  }
+
+  // One template-filtered scan collects sequence numbers for JUST this
+  // page's groups; sealed segments holding none of their raw ids are
+  // skipped via the postings without being mapped.
+  if (req.collect_sequences && !page.groups.empty()) {
+    std::unordered_set<TemplateId> wanted;
+    for (const auto& [raw, resolved] : resolved_of) {
+      if (page_index.count(resolved) != 0) wanted.insert(raw);
+    }
+    BB_RETURN_IF_ERROR(topic_.ScanTemplates(
+        begin, end, wanted, [&](uint64_t seq, TemplateId raw) {
+          page.groups[page_index.at(resolved_of.at(raw))]
+              .sequence_numbers.push_back(seq);
+        }));
+  }
+
+  page.has_more = stop < order.size();
+  page.next_offset = stop;
+  if (!page.groups.empty()) {
+    page.last_count = page.groups.back().count;
+    page.last_template_id = page.groups.back().template_id;
+  }
+  return page;
 }
 
 Result<std::vector<TemplateAnomaly>> ManagedTopic::DetectAnomalies(
@@ -1093,6 +1170,11 @@ TopicStats ManagedTopic::stats() const {
   snapshot.storage_ok = topic_.storage_status().ok();
   snapshot.storage_sealed_segments = topic_.sealed_segment_count();
   snapshot.storage_mapped_bytes = topic_.mapped_bytes();
+  snapshot.storage_cache_hits = topic_.cache_hits();
+  snapshot.storage_cache_misses = topic_.cache_misses();
+  snapshot.storage_cache_evictions = topic_.cache_evictions();
+  snapshot.storage_index_rebuilds = topic_.index_rebuilds();
+  snapshot.storage_scan_record_visits = topic_.scan_record_visits();
   snapshot.wal_bytes = topic_.wal_bytes();
   snapshot.wal_group_commits = topic_.wal_group_commits();
   snapshot.wal_fsyncs = topic_.wal_fsyncs();

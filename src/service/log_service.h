@@ -231,6 +231,61 @@ struct TopicStats {
   /// Records replayed from the WAL (beyond the segment file's own tail)
   /// when the topic was (re)opened.
   uint64_t wal_replayed_records = 0;
+  // --- segment cache / query index ---
+  /// Segment-cache traffic attributed to this topic's backend: pin
+  /// requests served by an already-resident mapping vs ones that had to
+  /// mmap, and mappings dropped by LRU eviction under the process-wide
+  /// budget. storage_mapped_bytes above is the RESIDENT bytes the cache
+  /// currently holds for this topic (pinned or reclaimable) — no longer
+  /// the sum of all sealed files.
+  uint64_t storage_cache_hits = 0;
+  uint64_t storage_cache_misses = 0;
+  uint64_t storage_cache_evictions = 0;
+  /// Sealed-segment sparse indexes rebuilt at open (.idx missing,
+  /// corrupt, or stale). Nonzero after a crash is normal; nonzero after
+  /// a clean restart means index persistence is misbehaving.
+  uint64_t storage_index_rebuilds = 0;
+  /// Records individually visited by storage scans (full Scan plus the
+  /// per-record portions of template-filtered reads). The regression
+  /// budget for "page N does O(page) work": postings-answered counts
+  /// and postings-skipped segments add NOTHING here.
+  uint64_t storage_scan_record_visits = 0;
+};
+
+/// One page of a template-grouped query (ManagedTopic::QueryGroups).
+/// Defaults give the legacy whole-result Query.
+struct QueryPageRequest {
+  double saturation_threshold = 0.6;
+  uint64_t begin_seq = 0;
+  uint64_t end_seq = UINT64_MAX;
+  /// Off = counts only: no sequence collection, no record scan at all
+  /// when the window is fully sealed (postings answer it).
+  bool collect_sequences = true;
+  /// Groups per page; 0 = everything.
+  uint64_t max_groups = 0;
+  /// Groups to skip — the legacy positional cursor. Only consulted when
+  /// has_resume_key is false (pre-v8 cursors in flight at upgrade).
+  uint64_t offset = 0;
+  /// Resume AFTER the group with this (count, template_id) in the
+  /// global order (count desc, id asc) — carried from the previous
+  /// page's QueryPage, so page N+1 seeks its start instead of
+  /// recomputing pages 1..N, and stays exact for a pinned window.
+  bool has_resume_key = false;
+  uint64_t resume_count = 0;
+  TemplateId resume_template_id = kInvalidTemplateId;
+};
+
+struct QueryPage {
+  std::vector<TemplateGroup> groups;
+  /// True when groups exist past this page; the fields below are then
+  /// the next page's request: the resume key of the last group on this
+  /// page plus the positional offset for legacy consumers.
+  bool has_more = false;
+  uint64_t next_offset = 0;
+  uint64_t last_count = 0;
+  TemplateId last_template_id = kInvalidTemplateId;
+  /// Distinct groups in the whole window (not just this page).
+  uint64_t total_groups = 0;
 };
 
 /// Anomaly report comparing two ingestion windows (§1, §6: count-change
@@ -336,6 +391,18 @@ class ManagedTopic {
                                            uint64_t begin_seq = 0,
                                            uint64_t end_seq = UINT64_MAX,
                                            bool collect_sequences = true) const;
+
+  /// The index-backed page form of Query — what the API's paginated
+  /// path calls. Group COUNTS come from the storage postings (one
+  /// TemplateCounts; fully-sealed windows touch no record bytes), the
+  /// page is cut from the global order (count desc, id asc) — seeking
+  /// via the request's resume key rather than regrouping — and ONLY the
+  /// page's groups get template texts and (when requested) sequence
+  /// numbers, the latter via one template-filtered scan that skips
+  /// sealed segments holding none of the page's templates. Work per
+  /// page is O(distinct templates + page size + matching records), not
+  /// O(window). Locking: as Query. Never trains.
+  Result<QueryPage> QueryGroups(const QueryPageRequest& req) const;
 
   /// Compares template counts between two sequence windows and reports
   /// new templates and count changes >= `min_change_ratio`.

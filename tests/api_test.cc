@@ -288,6 +288,11 @@ TEST(ApiMessagesTest, QueryAndStatsAndAnomalyRoundTrip) {
   s.tenant.denied_bytes = 200;
   s.tenant.admitted_records = 120;
   s.tenant.denied_records = 6;
+  s.stats.storage_cache_hits = 31;
+  s.stats.storage_cache_misses = 32;
+  s.stats.storage_cache_evictions = 33;
+  s.stats.storage_index_rebuilds = 34;
+  s.stats.storage_scan_record_visits = 35;
   GetStatsResponse s2;
   ASSERT_TRUE(s2.DecodeFrom(Encode(s)).ok());
   EXPECT_EQ(s2.stats.ingested_records, 1u);
@@ -308,6 +313,11 @@ TEST(ApiMessagesTest, QueryAndStatsAndAnomalyRoundTrip) {
   EXPECT_EQ(s2.tenant.denied_bytes, 200u);
   EXPECT_EQ(s2.tenant.admitted_records, 120u);
   EXPECT_EQ(s2.tenant.denied_records, 6u);
+  EXPECT_EQ(s2.stats.storage_cache_hits, 31u);
+  EXPECT_EQ(s2.stats.storage_cache_misses, 32u);
+  EXPECT_EQ(s2.stats.storage_cache_evictions, 33u);
+  EXPECT_EQ(s2.stats.storage_index_rebuilds, 34u);
+  EXPECT_EQ(s2.stats.storage_scan_record_visits, 35u);
 
   DetectAnomaliesRequest ar;
   ar.topic = "t";
