@@ -1,25 +1,49 @@
-// bbserve — the bytebrain service as a process: serve a TCP port, or
-// load-generate against one.
+// bbserve — the bytebrain service as a process: serve a TCP port
+// (optionally as a replication follower), load-generate against one,
+// promote a follower, or read wire stats.
 //
-//   ./bbserve serve [port] [--auth tenant=token,...]
+//   ./bbserve serve [port] [--auth tenant=token,...] [--root DIR]
+//                   [--repl-token TOK] [--follower host:port]
+//                   [--primary-hint host:port]
 //       Mounts a ServiceFrontend behind the epoll TCP server and
 //       prints "LISTENING <port>" once accepting (port 0 = ephemeral,
-//       the default). Runs until SIGINT/SIGTERM.
+//       the default). Runs until SIGINT/SIGTERM. --root enables
+//       disk-backed topics under DIR. --repl-token arms the
+//       replication surface (ReplPull/Promote/Demote). --follower
+//       starts the node as a read-only replica pulling from the given
+//       primary (requires --root and --repl-token); --primary-hint is
+//       echoed in write rejections.
 //
 //   ./bbserve loadgen <port> [tenants] [connections] [batches]
-//                     [batch_size] [--auth token]
+//                     [batch_size] [--auth token] [--durable]
 //       N tenants × M connections of pipelined IngestBatch traffic,
 //       then a wire GetStats per tenant. Prints per-tenant admitted
 //       counts and aggregate logs/s; exits nonzero unless every tenant
-//       shows admitted records — the CI e2e gate.
+//       shows admitted records — the CI e2e gate. --durable creates
+//       disk + wal_group_commit topics (server needs --root):
+//       acknowledged means durable, the failover e2e's precondition.
 //
-// Example session (two shells):
-//   $ ./bbserve serve 7070
+//   ./bbserve promote <port> --repl-token TOK
+//       Explicit failover: the follower seals its replicated tails,
+//       zeroes its lag, and starts accepting writes. Prints
+//       "PROMOTED sealed <n>".
+//
+//   ./bbserve stats <port> <tenant> <topic> [--auth token]
+//       One wire GetStats; prints
+//       "INGESTED <records> ROLE <0|1> LAG <bytes> <records> <segments>"
+//       (role 1 = follower). The CI failover e2e polls this.
+//
+// Example failover session (three shells):
+//   $ ./bbserve serve 7070 --root /tmp/p --repl-token s3
 //   LISTENING 7070
-//   $ ./bbserve loadgen 7070 4 16 8 1024
-//   tenant0: admitted 32768 records
-//   ...
-//   TOTAL 131072 records in 0.21s (620k logs/s)
+//   $ ./bbserve serve 7071 --root /tmp/f --repl-token s3 \
+//       --follower 127.0.0.1:7070 --primary-hint 127.0.0.1:7070
+//   LISTENING 7071
+//   $ ./bbserve loadgen 7070 4 16 8 1024 --durable
+//   $ ./bbserve stats 7071 tenant0 t
+//   INGESTED 8192 ROLE 1 LAG 0 0 0
+//   $ ./bbserve promote 7071 --repl-token s3
+//   PROMOTED sealed 4
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +59,7 @@
 #include "api/messages.h"
 #include "net/client.h"
 #include "net/tcp_server.h"
+#include "replication/replicator.h"
 
 using namespace bytebrain;
 
@@ -75,6 +100,7 @@ std::map<std::string, std::string, std::less<>> ParseTokens(
 int Serve(int argc, char** argv) {
   net::TcpServerConfig server_config;
   api::FrontendConfig frontend_config;
+  std::string follower_of;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--auth") == 0 && i + 1 < argc) {
       frontend_config.tenant_tokens = ParseTokens(argv[++i]);
@@ -82,12 +108,51 @@ int Serve(int argc, char** argv) {
         std::fprintf(stderr, "bad --auth spec (want tenant=token,...)\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      frontend_config.storage_root = argv[++i];
+    } else if (std::strcmp(argv[i], "--repl-token") == 0 && i + 1 < argc) {
+      frontend_config.replication_token = argv[++i];
+    } else if (std::strcmp(argv[i], "--follower") == 0 && i + 1 < argc) {
+      follower_of = argv[++i];
+    } else if (std::strcmp(argv[i], "--primary-hint") == 0 && i + 1 < argc) {
+      frontend_config.primary_hint = argv[++i];
     } else {
       server_config.port = static_cast<uint16_t>(std::atoi(argv[i]));
     }
   }
+  if (!follower_of.empty() && (frontend_config.storage_root.empty() ||
+                               frontend_config.replication_token.empty())) {
+    std::fprintf(stderr, "--follower needs --root and --repl-token\n");
+    return 2;
+  }
+  frontend_config.start_as_follower = !follower_of.empty();
 
   api::ServiceFrontend frontend(frontend_config);
+  frontend.SetRoleChangeHook([](bool is_follower) {
+    std::fprintf(stderr, "ROLE %s\n", is_follower ? "follower" : "primary");
+  });
+
+  // Follower mode: pull the replication stream from the primary in the
+  // background. A wire Promote stops the mirroring (RunOnce no-ops once
+  // the node is no longer a follower) and opens writes.
+  std::unique_ptr<replication::Replicator> replicator;
+  if (!follower_of.empty()) {
+    const size_t colon = follower_of.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad --follower (want host:port)\n");
+      return 2;
+    }
+    replication::ReplicatorConfig repl_config;
+    repl_config.primary_host = follower_of.substr(0, colon);
+    repl_config.primary_port =
+        static_cast<uint16_t>(std::atoi(follower_of.c_str() + colon + 1));
+    repl_config.replication_token = frontend_config.replication_token;
+    repl_config.storage_root = frontend_config.storage_root;
+    replicator =
+        std::make_unique<replication::Replicator>(&frontend, repl_config);
+    replicator->Start();
+  }
+
   net::TcpServer server(&frontend, server_config);
   const Status started = server.Start();
   if (!started.ok()) {
@@ -104,6 +169,7 @@ int Serve(int argc, char** argv) {
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  if (replicator != nullptr) replicator->Stop();
   server.Shutdown();
   const net::TcpServerStats stats = server.stats();
   std::fprintf(stderr, "stopping on signal %d\n", g_sig.load());
@@ -121,8 +187,12 @@ int Loadgen(int argc, char** argv) {
   int batches = argc > 5 ? std::atoi(argv[5]) : 8;
   int batch_size = argc > 6 ? std::atoi(argv[6]) : 1024;
   std::string auth_token;
-  for (int i = 3; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--auth") == 0) auth_token = argv[i + 1];
+  bool durable = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--auth") == 0 && i + 1 < argc) {
+      auth_token = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--durable") == 0) durable = true;
   }
   if (tenants < 1 || connections < tenants || batches < 1 || batch_size < 1) {
     std::fprintf(stderr, "bad loadgen shape\n");
@@ -143,6 +213,12 @@ int Loadgen(int argc, char** argv) {
     req.config.train_interval_records = 1u << 30;
     req.config.num_threads = 1;
     req.config.async_training = false;
+    if (durable) {
+      // Disk + group-commit WAL: every acked batch is durable (and
+      // replicable) — the failover e2e's zero-acked-loss precondition.
+      req.config.storage.kind = StorageConfig::Kind::kSegmentedDisk;
+      req.config.durability = DurabilityMode::kWalGroupCommit;
+    }
     api::CreateTopicResponse resp;
     const Status s = client.Call(api::ApiMethod::kCreateTopic,
                                  "tenant" + std::to_string(t), req, &resp);
@@ -230,6 +306,69 @@ int Loadgen(int argc, char** argv) {
   return (all_admitted && failures.load() == 0) ? 0 : 1;
 }
 
+int Promote(int argc, char** argv) {
+  if (argc < 3) return 2;
+  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[2]));
+  std::string token;
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--repl-token") == 0) token = argv[i + 1];
+  }
+  if (token.empty()) {
+    std::fprintf(stderr, "promote needs --repl-token\n");
+    return 2;
+  }
+  net::NetClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
+  client.set_auth_token(token);
+  api::PromoteRequest req;
+  api::PromoteResponse resp;
+  const Status s = client.Call(api::ApiMethod::kPromote, "", req, &resp);
+  if (!s.ok()) {
+    std::fprintf(stderr, "promote: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("PROMOTED sealed %llu\n",
+              static_cast<unsigned long long>(resp.sealed_topics));
+  return 0;
+}
+
+int Stats(int argc, char** argv) {
+  if (argc < 5) return 2;
+  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[2]));
+  const std::string tenant = argv[3];
+  const std::string topic = argv[4];
+  std::string auth_token;
+  for (int i = 5; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--auth") == 0) auth_token = argv[i + 1];
+  }
+  net::NetClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
+  client.set_auth_token(auth_token);
+  api::GetStatsRequest req;
+  req.topic = topic;
+  api::GetStatsResponse resp;
+  const Status s = client.Call(api::ApiMethod::kGetStats, tenant, req, &resp);
+  if (!s.ok()) {
+    std::fprintf(stderr, "stats: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("INGESTED %llu ROLE %u LAG %llu %llu %llu\n",
+              static_cast<unsigned long long>(resp.stats.ingested_records),
+              static_cast<unsigned>(resp.stats.replica_role),
+              static_cast<unsigned long long>(resp.stats.replication_lag_bytes),
+              static_cast<unsigned long long>(
+                  resp.stats.replication_lag_records),
+              static_cast<unsigned long long>(
+                  resp.stats.replication_lag_segments));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,11 +378,21 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "loadgen") == 0) {
     return Loadgen(argc, argv);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "promote") == 0) {
+    return Promote(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "stats") == 0) {
+    return Stats(argc, argv);
+  }
   std::fprintf(stderr,
                "usage:\n"
-               "  %s serve [port] [--auth tenant=token,...]\n"
+               "  %s serve [port] [--auth tenant=token,...] [--root DIR] "
+               "[--repl-token TOK] [--follower host:port] "
+               "[--primary-hint host:port]\n"
                "  %s loadgen <port> [tenants] [connections] [batches] "
-               "[batch_size] [--auth token]\n",
-               argv[0], argv[0]);
+               "[batch_size] [--auth token] [--durable]\n"
+               "  %s promote <port> --repl-token TOK\n"
+               "  %s stats <port> <tenant> <topic> [--auth token]\n",
+               argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

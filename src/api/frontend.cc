@@ -74,6 +74,11 @@ struct QueryCursor {
   bool has_resume_key = false;
   uint64_t resume_count = 0;
   TemplateId resume_template_id = kInvalidTemplateId;
+  /// Time-range predicate (tags 9-10, appended with the wire fields):
+  /// pinned in the cursor like the window, so every page filters the
+  /// same range. Pre-range cursors decode to the select-all defaults.
+  uint64_t min_timestamp_us = 0;
+  uint64_t max_timestamp_us = UINT64_MAX;
 
   void EncodeTo(std::string* out) const {
     FieldWriter w(out);
@@ -85,6 +90,8 @@ struct QueryCursor {
     w.PutBool(6, has_resume_key);
     w.PutU64(7, resume_count);
     w.PutU64(8, resume_template_id);
+    w.PutU64(9, min_timestamp_us);
+    w.PutU64(10, max_timestamp_us);
   }
 
   Status DecodeFrom(std::string_view bytes) {
@@ -117,6 +124,12 @@ struct QueryCursor {
           break;
         case 8:
           ok = ok && FieldReader::U64(p, &resume_template_id);
+          break;
+        case 9:
+          ok = ok && FieldReader::U64(p, &min_timestamp_us);
+          break;
+        case 10:
+          ok = ok && FieldReader::U64(p, &max_timestamp_us);
           break;
         default:
           break;
@@ -178,10 +191,46 @@ ServiceFrontend::ServiceFrontend(FrontendConfig config)
   if (auth_ == nullptr && !config_.tenant_tokens.empty()) {
     auth_ = std::make_shared<StaticTokenAuthenticator>(config_.tenant_tokens);
   }
+  follower_.store(config_.start_as_follower, std::memory_order_relaxed);
   if (config_.segment_cache_budget_bytes > 0) {
     SegmentCache::Global()->set_budget_bytes(
         config_.segment_cache_budget_bytes);
   }
+}
+
+void ServiceFrontend::SetRoleChangeHook(std::function<void(bool)> hook) {
+  std::lock_guard<std::mutex> lock(role_hook_mu_);
+  role_hook_ = std::move(hook);
+}
+
+void ServiceFrontend::NotifyRoleChange(bool is_follower) {
+  std::function<void(bool)> hook;
+  {
+    std::lock_guard<std::mutex> lock(role_hook_mu_);
+    hook = role_hook_;
+  }
+  if (hook) hook(is_follower);
+}
+
+void ServiceFrontend::UpdateTenantTokens(
+    std::map<std::string, std::string, std::less<>> tokens) {
+  // Build the replacement table outside the lock; the swap itself is
+  // O(1), so a rotation never stalls concurrent Dispatch auth reads.
+  std::shared_ptr<const Authenticator> next;
+  if (!tokens.empty()) {
+    next = std::make_shared<StaticTokenAuthenticator>(std::move(tokens));
+  }
+  std::lock_guard<std::mutex> lock(auth_mu_);
+  auth_ = std::move(next);
+}
+
+Status ServiceFrontend::CheckWritable() const {
+  if (!follower_.load(std::memory_order_relaxed)) return Status::OK();
+  std::string msg = "node is a replication follower (read-only)";
+  if (!config_.primary_hint.empty()) {
+    msg += "; retry at " + config_.primary_hint;
+  }
+  return Status::Unavailable(msg);
 }
 
 uint64_t ServiceFrontend::NowUs() const {
@@ -299,6 +348,7 @@ Result<std::shared_ptr<ManagedTopic>> ServiceFrontend::ResolveTopic(
 Status ServiceFrontend::CreateTopic(std::string_view tenant,
                                     const CreateTopicRequest& req,
                                     CreateTopicResponse* /*resp*/) {
+  BB_RETURN_IF_ERROR(CheckWritable());
   BB_RETURN_IF_ERROR(ValidateNamePart("tenant", tenant));
   BB_RETURN_IF_ERROR(ValidateNamePart("topic name", req.name));
   // Re-creating an existing topic is AlreadyExists, not a quota denial
@@ -344,6 +394,7 @@ Status ServiceFrontend::CreateTopic(std::string_view tenant,
 Status ServiceFrontend::UpdateTopicConfig(std::string_view tenant,
                                           const UpdateTopicConfigRequest& req,
                                           UpdateTopicConfigResponse* /*resp*/) {
+  BB_RETURN_IF_ERROR(CheckWritable());
   auto topic = ResolveTopic(tenant, req.name);
   BB_RETURN_IF_ERROR(topic.status());
   return topic.value()->UpdateConfig(req.patch);
@@ -352,6 +403,7 @@ Status ServiceFrontend::UpdateTopicConfig(std::string_view tenant,
 Status ServiceFrontend::DeleteTopic(std::string_view tenant,
                                     const DeleteTopicRequest& req,
                                     DeleteTopicResponse* /*resp*/) {
+  BB_RETURN_IF_ERROR(CheckWritable());
   BB_RETURN_IF_ERROR(ValidateNamePart("tenant", tenant));
   BB_RETURN_IF_ERROR(ValidateNamePart("topic name", req.name));
   const Status deleted = service_.DeleteTopic(FullTopicName(tenant, req.name),
@@ -385,6 +437,7 @@ Status ServiceFrontend::ListTopics(std::string_view tenant,
 Status ServiceFrontend::Ingest(std::string_view tenant, IngestRequest req,
                                IngestResponse* resp,
                                uint64_t* retry_after_us) {
+  BB_RETURN_IF_ERROR(CheckWritable());
   auto topic = ResolveTopic(tenant, req.topic);
   BB_RETURN_IF_ERROR(topic.status());
   uint64_t retry = 0;
@@ -450,6 +503,7 @@ Status ServiceFrontend::IngestBatch(std::string_view tenant,
                                     IngestBatchRequest req,
                                     IngestBatchResponse* resp,
                                     uint64_t* retry_after_us) {
+  BB_RETURN_IF_ERROR(CheckWritable());
   auto topic = ResolveTopic(tenant, req.topic);
   BB_RETURN_IF_ERROR(topic.status());
   uint64_t bytes = 0;
@@ -467,6 +521,7 @@ Status ServiceFrontend::IngestBatchViews(std::string_view tenant,
                                          const IngestBatchRequestView& req,
                                          IngestBatchResponse* resp,
                                          uint64_t* retry_after_us) {
+  BB_RETURN_IF_ERROR(CheckWritable());
   auto topic = ResolveTopic(tenant, req.topic);
   BB_RETURN_IF_ERROR(topic.status());
   uint64_t bytes = 0;
@@ -498,6 +553,8 @@ Status ServiceFrontend::Query(std::string_view tenant, const QueryRequest& req,
     cursor.offset = 0;
     cursor.saturation = req.saturation_threshold;
     cursor.include_sequence_numbers = req.include_sequence_numbers;
+    cursor.min_timestamp_us = req.min_timestamp_us;
+    cursor.max_timestamp_us = req.max_timestamp_us;
   }
 
   // Index-backed page: counts come from the storage postings, the page
@@ -513,6 +570,8 @@ Status ServiceFrontend::Query(std::string_view tenant, const QueryRequest& req,
   page_req.has_resume_key = cursor.has_resume_key;
   page_req.resume_count = cursor.resume_count;
   page_req.resume_template_id = cursor.resume_template_id;
+  page_req.min_timestamp_us = cursor.min_timestamp_us;
+  page_req.max_timestamp_us = cursor.max_timestamp_us;
   auto page = topic.value()->QueryGroups(page_req);
   BB_RETURN_IF_ERROR(page.status());
   resp->groups = std::move(page.value().groups);
@@ -534,6 +593,9 @@ Status ServiceFrontend::GetStats(std::string_view tenant,
   auto topic = ResolveTopic(tenant, req.topic);
   BB_RETURN_IF_ERROR(topic.status());
   resp->stats = topic.value()->stats();
+  // Role is a frontend property (topics are role-agnostic); stamp it
+  // into the snapshot here.
+  resp->stats.replica_role = is_follower() ? 1 : 0;
   // The tenant meter is tenant-wide (admission control runs per tenant,
   // not per topic), so any of the tenant's topics reports the same one.
   TenantState* state = Tenant(tenant);
@@ -547,6 +609,7 @@ Status ServiceFrontend::GetStats(std::string_view tenant,
 Status ServiceFrontend::TrainNow(std::string_view tenant,
                                  const TrainNowRequest& req,
                                  TrainNowResponse* /*resp*/) {
+  BB_RETURN_IF_ERROR(CheckWritable());
   auto topic = ResolveTopic(tenant, req.topic);
   BB_RETURN_IF_ERROR(topic.status());
   return topic.value()->TrainNow();
@@ -565,6 +628,81 @@ Status ServiceFrontend::DetectAnomalies(std::string_view tenant,
   return Status::OK();
 }
 
+Status ServiceFrontend::ReplPull(const ReplPullRequest& req,
+                                 ReplPullResponse* resp) {
+  // Catalog enumeration: an empty topic name asks for the full topic
+  // list so the follower can create missing topics and drop stale ones.
+  if (req.topic.empty()) {
+    resp->topics = service_.TopicNames();
+    return Status::OK();
+  }
+  auto topic = service_.GetTopic(req.topic);
+  if (!topic.ok()) {
+    return Status::NotFound("topic '" + req.topic + "' does not exist");
+  }
+  ManagedTopic* t = topic.value().get();
+  if (req.want_config) {
+    resp->has_config = true;
+    resp->config = t->config();
+    // The follower roots segments under its own storage tree; shipping
+    // the primary's path would be meaningless (or dangerous) there.
+    resp->config.storage.directory.clear();
+  }
+  const uint64_t gen = t->ModelGeneration();
+  resp->model_generation = gen;
+  if (req.model_generation != gen && t->trained()) {
+    resp->has_model = true;
+    resp->model_blob = t->SerializedModel();
+  }
+  ReplicationChunk chunk;
+  Status read = t->ReplicationRead(req.segment_index, req.offset,
+                                   req.max_bytes, &chunk);
+  if (read.IsNotSupported()) {
+    return Status::NotSupported(
+        "topic has no replicable storage (memory backend)");
+  }
+  BB_RETURN_IF_ERROR(read);
+  resp->segment_index = chunk.segment_index;
+  resp->offset = chunk.offset;
+  resp->data = std::move(chunk.data);
+  resp->segment_sealed = chunk.segment_sealed;
+  resp->segment_records = chunk.segment_records;
+  resp->segment_checksum = chunk.segment_checksum;
+  resp->segment_data_len = chunk.segment_data_len;
+  resp->source_records = chunk.source_records;
+  resp->source_segments = chunk.source_segments;
+  resp->source_bytes = chunk.source_bytes;
+  return Status::OK();
+}
+
+Status ServiceFrontend::Promote(PromoteResponse* resp) {
+  const bool was_follower = follower_.exchange(false);
+  if (!was_follower) return Status::OK();  // idempotent
+  // Seal every topic's replicated tail so the promotion point is a
+  // durable segment boundary, then zero the (now meaningless) lag.
+  uint64_t sealed_topics = 0;
+  for (const std::string& name : service_.TopicNames()) {
+    auto topic = service_.GetTopic(name);
+    if (!topic.ok()) continue;  // deleted concurrently
+    bool sealed = false;
+    Status s = topic.value()->SealTail(&sealed);
+    if (!s.ok()) {
+      follower_.store(true);  // promotion failed; stay a follower
+      return s;
+    }
+    if (sealed) ++sealed_topics;
+    topic.value()->SetReplicationLag(0, 0, 0);
+  }
+  if (resp != nullptr) resp->sealed_topics = sealed_topics;
+  NotifyRoleChange(false);
+  return Status::OK();
+}
+
+Status ServiceFrontend::Demote(DemoteResponse* /*resp*/) {
+  if (!follower_.exchange(true)) NotifyRoleChange(true);
+  return Status::OK();
+}
+
 std::string ServiceFrontend::Dispatch(std::string_view request_bytes,
                                       DispatchInfo* info) {
   // View-parse the envelope: tenant and payload stay in the caller's
@@ -575,12 +713,34 @@ std::string ServiceFrontend::Dispatch(std::string_view request_bytes,
   if (!decoded.ok()) return EncodeErrorResponse(decoded, 0, info);
   const std::string_view tenant = env.tenant;
   const uint64_t rid = env.request_id;
-  // Authentication gates EVERYTHING below — including admission
-  // accounting: a rejected request must not consume tokens, hold an
-  // in-flight slot, or move the tenant meter.
-  if (auth_ != nullptr) {
-    const Status authed = auth_->Authenticate(tenant, env.auth_token);
-    if (!authed.ok()) return EncodeErrorResponse(authed, rid, info);
+  // Replication methods authenticate against the peer token, not the
+  // tenant table: the envelope's auth_token must equal the configured
+  // replication_token exactly (tenant is ignored). An empty configured
+  // token keeps the surface off; the error is identical in every
+  // failure case so the token is not probeable.
+  const bool repl_method = env.method == ApiMethod::kReplPull ||
+                           env.method == ApiMethod::kPromote ||
+                           env.method == ApiMethod::kDemote;
+  if (repl_method) {
+    if (config_.replication_token.empty() ||
+        env.auth_token != config_.replication_token) {
+      return EncodeErrorResponse(
+          Status::PermissionDenied("replication not authorized"), rid, info);
+    }
+  } else {
+    // Authentication gates EVERYTHING below — including admission
+    // accounting: a rejected request must not consume tokens, hold an
+    // in-flight slot, or move the tenant meter. Copy the authenticator
+    // under the lock so a concurrent UpdateTenantTokens swap is safe.
+    std::shared_ptr<const Authenticator> auth;
+    {
+      std::lock_guard<std::mutex> lock(auth_mu_);
+      auth = auth_;
+    }
+    if (auth != nullptr) {
+      const Status authed = auth->Authenticate(tenant, env.auth_token);
+      if (!authed.ok()) return EncodeErrorResponse(authed, rid, info);
+    }
   }
   try {
     switch (env.method) {
@@ -646,6 +806,24 @@ std::string ServiceFrontend::Dispatch(std::string_view request_bytes,
             env.payload, rid, info,
             [&](DetectAnomaliesRequest req, DetectAnomaliesResponse* resp,
                 uint64_t*) { return DetectAnomalies(tenant, req, resp); });
+      case ApiMethod::kReplPull:
+        return RunDispatch<ReplPullRequest, ReplPullResponse>(
+            env.payload, rid, info,
+            [&](ReplPullRequest req, ReplPullResponse* resp, uint64_t*) {
+              return ReplPull(req, resp);
+            });
+      case ApiMethod::kPromote:
+        return RunDispatch<PromoteRequest, PromoteResponse>(
+            env.payload, rid, info,
+            [&](PromoteRequest, PromoteResponse* resp, uint64_t*) {
+              return Promote(resp);
+            });
+      case ApiMethod::kDemote:
+        return RunDispatch<DemoteRequest, DemoteResponse>(
+            env.payload, rid, info,
+            [&](DemoteRequest, DemoteResponse* resp, uint64_t*) {
+              return Demote(resp);
+            });
       case ApiMethod::kUnknown:
         break;
     }

@@ -123,6 +123,22 @@ struct FrontendConfig {
   /// before the batch executes — the deterministic seam for exercising
   /// the in-flight cap, mirroring TopicConfig::on_async_training_start.
   std::function<void(std::string_view tenant)> on_ingest_batch_start;
+  /// Replication peer credential. Non-empty ENABLES the replication
+  /// methods (kReplPull/kPromote/kDemote) on this node: their envelopes
+  /// authenticate by carrying exactly this token in `auth_token` (the
+  /// envelope tenant is ignored — replication is a peer surface, not a
+  /// tenant one) and never touch the tenant authenticator or admission
+  /// accounting. Empty (the default) leaves the replication surface
+  /// switched off: those methods return PermissionDenied.
+  std::string replication_token;
+  /// Start in follower mode: write-shaped methods (Create/Update/
+  /// DeleteTopic, Ingest, IngestBatch, TrainNow) are rejected with
+  /// Status::Unavailable until a Promote flips the role. Read methods
+  /// (Query, GetStats, ListTopics, DetectAnomalies) serve normally.
+  bool start_as_follower = false;
+  /// Redirect hint appended to follower write rejections ("retry at
+  /// <primary_hint>") — typically the primary's host:port.
+  std::string primary_hint;
 };
 
 /// The service API v1 implementation. Thread-safe: every method may be
@@ -162,6 +178,53 @@ class ServiceFrontend {
   Status DetectAnomalies(std::string_view tenant,
                          const DetectAnomaliesRequest& req,
                          DetectAnomaliesResponse* resp);
+
+  // --- Replication surface -------------------------------------------
+  // Peer-facing methods, enabled by FrontendConfig::replication_token
+  // (Dispatch authenticates them against it; the typed forms here are
+  // the trusted in-process surface like every other typed method).
+
+  /// Primary side of one replication pull: topic catalog (empty
+  /// req.topic) or a chunk of frames from the requested position, plus
+  /// config/model when asked for. Serving pulls is role-independent —
+  /// a follower can feed a downstream follower.
+  Status ReplPull(const ReplPullRequest& req, ReplPullResponse* resp);
+
+  /// Failover: flip to primary and force-seal every topic's replicated
+  /// tail (post-promote writes start fresh segments; the sealed
+  /// boundary is what a diverged old primary is compared against).
+  /// Idempotent — promoting a primary is a no-op.
+  Status Promote(PromoteResponse* resp);
+
+  /// Flip to follower (write-shaped methods start rejecting). Does NOT
+  /// attach the node to a primary — that is the embedding's move (start
+  /// a Replicator); this only changes the role gate.
+  Status Demote(DemoteResponse* resp);
+
+  /// Current role. Followers serve reads and reject writes with
+  /// Status::Unavailable carrying the primary hint.
+  bool is_follower() const {
+    return follower_.load(std::memory_order_relaxed);
+  }
+
+  /// Invoked (outside all frontend locks) whenever the role actually
+  /// changes — Promote with `true → false`, Demote the reverse. The
+  /// embedding uses it to stop/start its replication loop.
+  void SetRoleChangeHook(std::function<void(bool is_follower)> hook);
+
+  /// Swaps the wire authenticator's tenant→token table at runtime
+  /// without disturbing established connections: requests already past
+  /// authentication finish, the next request on any connection is
+  /// checked against the NEW table (an old token is denied from then
+  /// on). An empty map disables auth, mirroring construction.
+  void UpdateTenantTokens(
+      std::map<std::string, std::string, std::less<>> tokens);
+
+  /// The underlying catalog — the trusted embedding surface the
+  /// replication follower applies its stream through (no tenant
+  /// scoping, no admission, no role gate). Never expose to a wire
+  /// transport.
+  LogService* service() { return &service_; }
 
   /// What a transport needs to know about a dispatch WITHOUT decoding
   /// the response it is about to forward: the outcome code and the
@@ -224,12 +287,26 @@ class ServiceFrontend {
                      uint64_t* retry_after_us);
   Result<std::shared_ptr<ManagedTopic>> ResolveTopic(std::string_view tenant,
                                                      std::string_view name);
+  /// OK on a primary; Unavailable (with the primary hint) on a
+  /// follower. Every write-shaped method checks it first.
+  Status CheckWritable() const;
+  /// Fires the role-change hook (if set) with the new role. Call with
+  /// no frontend lock held.
+  void NotifyRoleChange(bool is_follower);
 
   FrontendConfig config_;
   /// Effective wire authenticator: config_.authenticator, or a
   /// StaticTokenAuthenticator built from config_.tenant_tokens, or
-  /// null (auth disabled).
+  /// null (auth disabled). Guarded by auth_mu_ — UpdateTenantTokens
+  /// swaps it at runtime; Dispatch copies the shared_ptr under the
+  /// mutex and authenticates against the copy (in-flight requests keep
+  /// the table they started with).
   std::shared_ptr<const Authenticator> auth_;
+  mutable std::mutex auth_mu_;
+  /// Current role; true = follower (write-shaped methods reject).
+  std::atomic<bool> follower_{false};
+  std::function<void(bool)> role_hook_;
+  std::mutex role_hook_mu_;
   LogService service_;
   std::mutex tenants_mu_;
   std::map<std::string, std::unique_ptr<TenantState>, std::less<>> tenants_;

@@ -50,6 +50,8 @@ Status StatusFromWire(uint32_t code, std::string message) {
       return Status::ResourceExhausted(message);
     case Status::Code::kPermissionDenied:
       return Status::PermissionDenied(message);
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(message);
   }
   return Status::Corruption("unknown wire status code " +
                             std::to_string(code));
@@ -172,7 +174,7 @@ Status ResponseEnvelope::DecodeFrom(std::string_view bytes) {
     }
   }
   if (fields.error()) return Malformed("response envelope");
-  if (code > static_cast<uint32_t>(Status::Code::kPermissionDenied)) {
+  if (code > static_cast<uint32_t>(Status::Code::kUnavailable)) {
     return Status::Corruption("unknown wire status code " +
                               std::to_string(code));
   }
@@ -655,6 +657,8 @@ void QueryRequest::EncodeTo(std::string* out) const {
   w.PutU32(5, max_groups);
   w.PutBytes(6, cursor);
   w.PutBool(7, include_sequence_numbers);
+  if (min_timestamp_us != 0) w.PutU64(8, min_timestamp_us);
+  if (max_timestamp_us != UINT64_MAX) w.PutU64(9, max_timestamp_us);
 }
 
 Status QueryRequest::DecodeFrom(std::string_view bytes) {
@@ -685,6 +689,12 @@ Status QueryRequest::DecodeFrom(std::string_view bytes) {
         break;
       case 7:
         if (!TakeBool(p, &include_sequence_numbers)) goto malformed;
+        break;
+      case 8:
+        if (!TakeU64(p, &min_timestamp_us)) goto malformed;
+        break;
+      case 9:
+        if (!TakeU64(p, &max_timestamp_us)) goto malformed;
         break;
       default:
         break;
@@ -847,6 +857,10 @@ void GetStatsResponse::EncodeTo(std::string* out) const {
   w.PutU64(30, stats.storage_cache_evictions);
   w.PutU64(31, stats.storage_index_rebuilds);
   w.PutU64(32, stats.storage_scan_record_visits);
+  w.PutU64(33, stats.replication_lag_bytes);
+  w.PutU64(34, stats.replication_lag_records);
+  w.PutU64(35, stats.replication_lag_segments);
+  w.PutU32(36, stats.replica_role);
 }
 
 Status GetStatsResponse::DecodeFrom(std::string_view bytes) {
@@ -984,6 +998,18 @@ Status GetStatsResponse::DecodeFrom(std::string_view bytes) {
         break;
       case 32:
         if (!TakeU64(p, &stats.storage_scan_record_visits)) goto malformed;
+        break;
+      case 33:
+        if (!TakeU64(p, &stats.replication_lag_bytes)) goto malformed;
+        break;
+      case 34:
+        if (!TakeU64(p, &stats.replication_lag_records)) goto malformed;
+        break;
+      case 35:
+        if (!TakeU64(p, &stats.replication_lag_segments)) goto malformed;
+        break;
+      case 36:
+        if (!TakeU32(p, &stats.replica_role)) goto malformed;
         break;
       case 27: {
         FieldReader tr(p);
@@ -1160,6 +1186,202 @@ Status DetectAnomaliesResponse::DecodeFrom(std::string_view bytes) {
   return Status::OK();
 malformed:
   return Malformed("DetectAnomaliesResponse");
+}
+
+// ---------------------------------------------------------------------
+// Replication (v2)
+// ---------------------------------------------------------------------
+
+void ReplPullRequest::EncodeTo(std::string* out) const {
+  FieldWriter w(out);
+  w.PutBytes(1, topic);
+  w.PutU64(2, segment_index);
+  w.PutU64(3, offset);
+  w.PutU64(4, max_bytes);
+  w.PutU64(5, model_generation);
+  w.PutBool(6, want_config);
+}
+
+Status ReplPullRequest::DecodeFrom(std::string_view bytes) {
+  // Reused structs decode cleanly: absent fields get defaults.
+  *this = ReplPullRequest();
+  FieldReader fields(bytes);
+  uint32_t tag = 0;
+  std::string_view p;
+  while (fields.Next(&tag, &p)) {
+    switch (tag) {
+      case 1:
+        topic.assign(p);
+        break;
+      case 2:
+        if (!TakeU64(p, &segment_index)) goto malformed;
+        break;
+      case 3:
+        if (!TakeU64(p, &offset)) goto malformed;
+        break;
+      case 4:
+        if (!TakeU64(p, &max_bytes)) goto malformed;
+        break;
+      case 5:
+        if (!TakeU64(p, &model_generation)) goto malformed;
+        break;
+      case 6:
+        if (!TakeBool(p, &want_config)) goto malformed;
+        break;
+      default:
+        break;
+    }
+  }
+  if (fields.error()) goto malformed;
+  return Status::OK();
+malformed:
+  return Malformed("ReplPullRequest");
+}
+
+void ReplPullResponse::EncodeTo(std::string* out) const {
+  FieldWriter w(out);
+  for (const std::string& name : topics) w.PutBytes(1, name);
+  w.PutU64(2, segment_index);
+  w.PutU64(3, offset);
+  w.PutBytes(4, data);
+  w.PutBool(5, segment_sealed);
+  w.PutU64(6, segment_records);
+  w.PutU64(7, segment_checksum);
+  w.PutU64(8, segment_data_len);
+  w.PutU64(9, source_records);
+  w.PutU64(10, source_segments);
+  w.PutU64(11, source_bytes);
+  w.PutBool(12, has_config);
+  if (has_config) {
+    const size_t cfg = w.Begin(13);
+    EncodeTopicConfig(config, out);
+    w.End(cfg);
+  }
+  w.PutBool(14, has_model);
+  if (has_model) w.PutBytes(15, model_blob);
+  w.PutU64(16, model_generation);
+}
+
+Status ReplPullResponse::DecodeFrom(std::string_view bytes) {
+  // Reused structs decode cleanly: absent fields get defaults.
+  *this = ReplPullResponse();
+  FieldReader fields(bytes);
+  uint32_t tag = 0;
+  std::string_view p;
+  while (fields.Next(&tag, &p)) {
+    switch (tag) {
+      case 1:
+        topics.emplace_back(p);
+        break;
+      case 2:
+        if (!TakeU64(p, &segment_index)) goto malformed;
+        break;
+      case 3:
+        if (!TakeU64(p, &offset)) goto malformed;
+        break;
+      case 4:
+        data.assign(p);
+        break;
+      case 5:
+        if (!TakeBool(p, &segment_sealed)) goto malformed;
+        break;
+      case 6:
+        if (!TakeU64(p, &segment_records)) goto malformed;
+        break;
+      case 7:
+        if (!TakeU64(p, &segment_checksum)) goto malformed;
+        break;
+      case 8:
+        if (!TakeU64(p, &segment_data_len)) goto malformed;
+        break;
+      case 9:
+        if (!TakeU64(p, &source_records)) goto malformed;
+        break;
+      case 10:
+        if (!TakeU64(p, &source_segments)) goto malformed;
+        break;
+      case 11:
+        if (!TakeU64(p, &source_bytes)) goto malformed;
+        break;
+      case 12:
+        if (!TakeBool(p, &has_config)) goto malformed;
+        break;
+      case 13:
+        BB_RETURN_IF_ERROR(DecodeTopicConfig(p, &config));
+        break;
+      case 14:
+        if (!TakeBool(p, &has_model)) goto malformed;
+        break;
+      case 15:
+        model_blob.assign(p);
+        break;
+      case 16:
+        if (!TakeU64(p, &model_generation)) goto malformed;
+        break;
+      default:
+        break;
+    }
+  }
+  if (fields.error()) goto malformed;
+  return Status::OK();
+malformed:
+  return Malformed("ReplPullResponse");
+}
+
+void PromoteRequest::EncodeTo(std::string*) const {}
+
+Status PromoteRequest::DecodeFrom(std::string_view bytes) {
+  FieldReader fields(bytes);
+  uint32_t tag = 0;
+  std::string_view p;
+  while (fields.Next(&tag, &p)) {
+  }
+  if (fields.error()) return Malformed("PromoteRequest");
+  return Status::OK();
+}
+
+void PromoteResponse::EncodeTo(std::string* out) const {
+  FieldWriter w(out);
+  w.PutU64(1, sealed_topics);
+}
+
+Status PromoteResponse::DecodeFrom(std::string_view bytes) {
+  // Reused structs decode cleanly: absent fields get defaults.
+  *this = PromoteResponse();
+  FieldReader fields(bytes);
+  uint32_t tag = 0;
+  std::string_view p;
+  while (fields.Next(&tag, &p)) {
+    if (tag == 1 && !TakeU64(p, &sealed_topics)) {
+      return Malformed("PromoteResponse");
+    }
+  }
+  if (fields.error()) return Malformed("PromoteResponse");
+  return Status::OK();
+}
+
+void DemoteRequest::EncodeTo(std::string*) const {}
+
+Status DemoteRequest::DecodeFrom(std::string_view bytes) {
+  FieldReader fields(bytes);
+  uint32_t tag = 0;
+  std::string_view p;
+  while (fields.Next(&tag, &p)) {
+  }
+  if (fields.error()) return Malformed("DemoteRequest");
+  return Status::OK();
+}
+
+void DemoteResponse::EncodeTo(std::string*) const {}
+
+Status DemoteResponse::DecodeFrom(std::string_view bytes) {
+  FieldReader fields(bytes);
+  uint32_t tag = 0;
+  std::string_view p;
+  while (fields.Next(&tag, &p)) {
+  }
+  if (fields.error()) return Malformed("DemoteResponse");
+  return Status::OK();
 }
 
 }  // namespace api

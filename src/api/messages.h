@@ -60,6 +60,13 @@ enum class ApiMethod : uint32_t {
   kGetStats = 8,
   kTrainNow = 9,
   kDetectAnomalies = 10,
+  /// v2 replication surface. These are peer-to-peer methods: they
+  /// authenticate against the frontend's replication token (envelope
+  /// auth_token), not a tenant credential, and the envelope tenant is
+  /// ignored — a replication topic name is the full "tenant/name" key.
+  kReplPull = 11,
+  kPromote = 12,
+  kDemote = 13,
 };
 
 // ---------------------------------------------------------------------
@@ -278,6 +285,14 @@ struct QueryRequest {
   /// Groups carry their member sequence numbers (can dominate the
   /// response size; turn off for count-only dashboards).
   bool include_sequence_numbers = true;
+  /// v2: time-range predicate — only records with timestamp_us in
+  /// [min_timestamp_us, max_timestamp_us] contribute to groups. The
+  /// defaults select everything, and encode/decode as absent tags, so
+  /// an unfiltered v2 request is byte-identical to v1. Sealed segments
+  /// whose persisted min/max timestamp range misses the window are
+  /// pruned without being read.
+  uint64_t min_timestamp_us = 0;
+  uint64_t max_timestamp_us = UINT64_MAX;
 
   void EncodeTo(std::string* out) const;
   Status DecodeFrom(std::string_view bytes);
@@ -351,6 +366,105 @@ struct DetectAnomaliesRequest {
 struct DetectAnomaliesResponse {
   std::vector<TemplateAnomaly> anomalies;
 
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+// ---------------------------------------------------------------------
+// Replication (v2)
+// ---------------------------------------------------------------------
+
+/// Follower → primary pull. With an empty `topic` the primary answers
+/// with its full topic catalog (ReplPullResponse::topics) and no data —
+/// the follower's discovery step. With a topic set, the primary ships
+/// whole frames starting at the follower's resume point
+/// {segment_index, offset} (frame bytes are identical in the WAL, the
+/// segment file, and this stream, so the follower replays them through
+/// the very same ParseFrame/checksum path recovery uses).
+struct ReplPullRequest {
+  /// Full "tenant/name" topic key; empty = enumerate topics.
+  std::string topic;
+  uint64_t segment_index = 0;
+  uint64_t offset = 0;
+  /// Soft cap on data bytes per response (always at least one frame).
+  uint64_t max_bytes = 1 << 20;
+  /// The model generation the follower has applied for this topic;
+  /// UINT64_MAX = none. When it trails the primary's, the response
+  /// carries the serialized model.
+  uint64_t model_generation = UINT64_MAX;
+  /// Ship the topic's TopicConfig (the follower needs it to create the
+  /// local twin with the same segment size — seal boundaries must
+  /// match for byte-identical convergence).
+  bool want_config = false;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct ReplPullResponse {
+  /// Catalog answer (enumerate form only): full "tenant/name" keys.
+  std::vector<std::string> topics;
+
+  /// Echo of the served position; `data` holds whole frames starting
+  /// there. Empty data with segment_sealed means "segment complete,
+  /// advance to {segment_index + 1, 0}"; empty data on the unsealed
+  /// tail means the follower is caught up.
+  uint64_t segment_index = 0;
+  uint64_t offset = 0;
+  std::string data;
+
+  /// Manifest info for the segment being served (sealed segments
+  /// only): after sealing locally the follower verifies
+  /// records/checksum against these — a mismatch is divergence.
+  bool segment_sealed = false;
+  uint64_t segment_records = 0;
+  uint64_t segment_checksum = 0;
+  uint64_t segment_data_len = 0;
+
+  /// Primary-side totals at serve time, for lag accounting
+  /// (lag_bytes = source_bytes - locally applied bytes, etc.).
+  uint64_t source_records = 0;
+  uint64_t source_segments = 0;
+  uint64_t source_bytes = 0;
+
+  /// Present when the request set want_config.
+  bool has_config = false;
+  TopicConfig config;
+
+  /// Present when the primary's model generation differs from the
+  /// request's: the serialized TemplateModel and its generation.
+  bool has_model = false;
+  std::string model_blob;
+  uint64_t model_generation = 0;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+/// Explicit failover: the follower seals its replicated tails and
+/// starts accepting writes (role flips to primary). Idempotent.
+struct PromoteRequest {
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct PromoteResponse {
+  /// Topics whose active tail was sealed by the promotion.
+  uint64_t sealed_topics = 0;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+/// The reverse transition: stop accepting writes, serve read-only.
+/// (Re-attaching the node to a new primary is the operator's move —
+/// this RPC only flips the role.)
+struct DemoteRequest {
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view bytes);
+};
+
+struct DemoteResponse {
   void EncodeTo(std::string* out) const;
   Status DecodeFrom(std::string_view bytes);
 };

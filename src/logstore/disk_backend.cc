@@ -895,6 +895,222 @@ Status SegmentedDiskBackend::ScanTemplates(
   return Status::OK();
 }
 
+Status SegmentedDiskBackend::TemplateCountsInRange(
+    uint64_t begin, uint64_t end, uint64_t min_ts_us, uint64_t max_ts_us,
+    std::unordered_map<TemplateId, uint64_t>* counts) const {
+  if (min_ts_us == 0 && max_ts_us == UINT64_MAX) {
+    return TemplateCounts(begin, end, counts);
+  }
+  end = std::min(end, size());
+  for (const auto& seg : *sealed_) {
+    const uint64_t seg_end = seg->first_seq + seg->records;
+    if (seg_end <= begin) continue;
+    if (seg->first_seq >= end) break;
+    // Time pruning via the persisted index range: a sealed segment
+    // whose [min, max] timestamps miss the window contributes nothing —
+    // skipped without a pin, exactly like a postings miss.
+    if (seg->max_timestamp_us < min_ts_us || seg->min_timestamp_us > max_ts_us)
+      continue;
+    const uint64_t lo = std::max(begin, seg->first_seq);
+    const uint64_t hi = std::min(end, seg_end);
+    const bool ts_covered =
+        seg->min_timestamp_us >= min_ts_us && seg->max_timestamp_us <= max_ts_us;
+    if (lo == seg->first_seq && hi == seg_end && ts_covered) {
+      // Fully covered in both dimensions: postings answer it.
+      for (const auto& [tid, n] : seg->postings) (*counts)[tid] += n;
+      continue;
+    }
+    SegmentCache::Pin pin;
+    BB_RETURN_IF_ERROR(PinSegment(*seg, &pin));
+    size_t off = SeekOffset(pin.data(), *seg, lo - seg->first_seq);
+    for (uint64_t seq = lo; seq < hi; ++seq) {
+      uint32_t len;
+      uint64_t ts;
+      TemplateId tid;
+      std::memcpy(&len, pin.data() + off, 4);
+      std::memcpy(&ts, pin.data() + off + 4, 8);
+      std::memcpy(&tid, pin.data() + off + kFrameTidOffset, 8);
+      ++scan_visits_;
+      if (ts >= min_ts_us && ts <= max_ts_us) ++(*counts)[tid];
+      off += kFrameHeaderBytes + len;
+    }
+  }
+  for (uint64_t seq = std::max(begin, sealed_records_); seq < end; ++seq) {
+    ++scan_visits_;
+    const LogRecord& rec = active_[seq - sealed_records_];
+    if (rec.timestamp_us >= min_ts_us && rec.timestamp_us <= max_ts_us) {
+      ++(*counts)[rec.template_id];
+    }
+  }
+  return Status::OK();
+}
+
+Status SegmentedDiskBackend::ScanTemplatesInRange(
+    uint64_t begin, uint64_t end, uint64_t min_ts_us, uint64_t max_ts_us,
+    const std::unordered_set<TemplateId>& ids,
+    const std::function<void(uint64_t, TemplateId)>& fn) const {
+  if (min_ts_us == 0 && max_ts_us == UINT64_MAX) {
+    return ScanTemplates(begin, end, ids, fn);
+  }
+  end = std::min(end, size());
+  for (const auto& seg : *sealed_) {
+    const uint64_t seg_end = seg->first_seq + seg->records;
+    if (seg_end <= begin) continue;
+    if (seg->first_seq >= end) break;
+    if (seg->max_timestamp_us < min_ts_us || seg->min_timestamp_us > max_ts_us)
+      continue;
+    bool overlaps = false;
+    for (TemplateId tid : ids) {
+      if (seg->postings.count(tid) != 0) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) continue;
+    const uint64_t lo = std::max(begin, seg->first_seq);
+    const uint64_t hi = std::min(end, seg_end);
+    SegmentCache::Pin pin;
+    BB_RETURN_IF_ERROR(PinSegment(*seg, &pin));
+    size_t off = SeekOffset(pin.data(), *seg, lo - seg->first_seq);
+    for (uint64_t seq = lo; seq < hi; ++seq) {
+      uint32_t len;
+      uint64_t ts;
+      TemplateId tid;
+      std::memcpy(&len, pin.data() + off, 4);
+      std::memcpy(&ts, pin.data() + off + 4, 8);
+      std::memcpy(&tid, pin.data() + off + kFrameTidOffset, 8);
+      ++scan_visits_;
+      if (ts >= min_ts_us && ts <= max_ts_us && ids.count(tid) != 0) {
+        fn(seq, tid);
+      }
+      off += kFrameHeaderBytes + len;
+    }
+  }
+  for (uint64_t seq = std::max(begin, sealed_records_); seq < end; ++seq) {
+    ++scan_visits_;
+    const LogRecord& rec = active_[seq - sealed_records_];
+    if (rec.timestamp_us >= min_ts_us && rec.timestamp_us <= max_ts_us &&
+        ids.count(rec.template_id) != 0) {
+      fn(seq, rec.template_id);
+    }
+  }
+  return Status::OK();
+}
+
+Status SegmentedDiskBackend::ReplicationRead(uint64_t segment_index,
+                                             uint64_t offset,
+                                             uint64_t max_bytes,
+                                             ReplicationChunk* out) const {
+  out->segment_index = segment_index;
+  out->offset = offset;
+  out->data.clear();
+  out->segment_sealed = false;
+  out->segment_records = 0;
+  out->segment_checksum = 0;
+  out->segment_data_len = 0;
+  out->source_records = size();
+  out->source_segments = sealed_->size();
+  uint64_t sealed_bytes = 0;
+  for (const auto& seg : *sealed_) sealed_bytes += seg->data_len;
+  out->source_bytes = sealed_bytes + active_bytes_;
+  if (max_bytes == 0) max_bytes = 1;
+
+  if (segment_index < sealed_->size()) {
+    const SealedSegment& seg = *(*sealed_)[segment_index];
+    out->segment_sealed = true;
+    out->segment_records = seg.records;
+    out->segment_checksum = seg.checksum;
+    out->segment_data_len = seg.data_len;
+    if (offset > seg.data_len) {
+      return Status::Corruption("replication offset beyond sealed segment");
+    }
+    if (offset == seg.data_len) return Status::OK();  // advance to next
+    SegmentCache::Pin pin;
+    BB_RETURN_IF_ERROR(PinSegment(seg, &pin));
+    // Chunks carry whole frames only: walk (and checksum-verify) frames
+    // from `offset` until the next one would overflow max_bytes. A
+    // parse failure at the very first frame means the follower's resume
+    // offset is not a frame boundary.
+    ByteReader reader(pin.data() + offset, seg.data_len - offset);
+    size_t take = 0;
+    while (!reader.AtEnd()) {
+      Frame frame;
+      if (!ParseFrame(&reader, pin.data() + offset, &frame)) {
+        return take == 0 ? Status::InvalidArgument(
+                               "replication offset is not a frame boundary")
+                         : Status::Corruption(
+                               "corrupt frame in sealed segment during "
+                               "replication read");
+      }
+      if (take != 0 && reader.position() > max_bytes) break;
+      take = reader.position();
+      if (take >= max_bytes) break;
+    }
+    out->data.assign(pin.data() + offset, take);
+    return Status::OK();
+  }
+
+  if (segment_index == active_index_) {
+    if (offset > active_bytes_) {
+      return Status::Corruption("replication offset beyond active tail");
+    }
+    if (offset == active_bytes_) return Status::OK();  // caught up
+    const auto it = std::lower_bound(active_offsets_.begin(),
+                                     active_offsets_.end(), offset);
+    if (it == active_offsets_.end() || *it != offset) {
+      return Status::InvalidArgument(
+          "replication offset is not a frame boundary");
+    }
+    // Re-frame from the in-memory mirror: FillFrameHeader is
+    // deterministic, so these are byte-identical to the frames the WAL
+    // and the segment file hold — with the freshest template ids (the
+    // mirror is authoritative until the next flush patches the file).
+    for (size_t ridx = static_cast<size_t>(it - active_offsets_.begin());
+         ridx < active_.size(); ++ridx) {
+      const LogRecord& rec = active_[ridx];
+      if (!out->data.empty() &&
+          out->data.size() + kFrameHeaderBytes + rec.text.size() > max_bytes) {
+        break;
+      }
+      const uint64_t crc = RecordChecksum(rec.timestamp_us, rec.text);
+      char header[kFrameHeaderBytes];
+      FillFrameHeader(header, rec, crc);
+      out->data.append(header, kFrameHeaderBytes);
+      out->data.append(rec.text);
+      if (out->data.size() >= max_bytes) break;
+    }
+    return Status::OK();
+  }
+
+  return Status::Corruption("replication segment index beyond active tail");
+}
+
+Status SegmentedDiskBackend::ReplicationPosition(uint64_t* segment_index,
+                                                 uint64_t* offset) const {
+  *segment_index = active_index_;
+  *offset = active_bytes_;
+  return Status::OK();
+}
+
+Status SegmentedDiskBackend::VerifySealedSegment(uint64_t segment_index,
+                                                 uint64_t expect_records,
+                                                 uint64_t expect_checksum) const {
+  if (segment_index >= sealed_->size()) {
+    return Status::NotFound("segment not sealed locally");
+  }
+  const SealedSegment& seg = *(*sealed_)[segment_index];
+  if (seg.records != expect_records || seg.checksum != expect_checksum) {
+    return Status::Corruption("sealed segment diverges from the primary");
+  }
+  return Status::OK();
+}
+
+Status SegmentedDiskBackend::SealActive() {
+  if (!io_error_.ok()) return io_error_;
+  if (active_count() == 0) return Status::OK();
+  return SealActiveLocked();
+}
+
 Status SegmentedDiskBackend::AssignTemplate(uint64_t seq,
                                             TemplateId template_id) {
   if (seq >= size()) {

@@ -79,6 +79,25 @@ class SegmentedDiskBackend : public StorageBackend {
   Status ScanTemplates(
       uint64_t begin, uint64_t end, const std::unordered_set<TemplateId>& ids,
       const std::function<void(uint64_t, TemplateId)>& fn) const override;
+  /// Time-filtered variants: a sealed segment whose persisted [min, max]
+  /// timestamp range misses [min_ts_us, max_ts_us] is skipped without
+  /// being pinned; one fully inside it degrades to the unfiltered
+  /// postings/header paths.
+  Status TemplateCountsInRange(
+      uint64_t begin, uint64_t end, uint64_t min_ts_us, uint64_t max_ts_us,
+      std::unordered_map<TemplateId, uint64_t>* counts) const override;
+  Status ScanTemplatesInRange(
+      uint64_t begin, uint64_t end, uint64_t min_ts_us, uint64_t max_ts_us,
+      const std::unordered_set<TemplateId>& ids,
+      const std::function<void(uint64_t, TemplateId)>& fn) const override;
+  Status ReplicationRead(uint64_t segment_index, uint64_t offset,
+                         uint64_t max_bytes,
+                         ReplicationChunk* out) const override;
+  Status ReplicationPosition(uint64_t* segment_index,
+                             uint64_t* offset) const override;
+  Status VerifySealedSegment(uint64_t segment_index, uint64_t expect_records,
+                             uint64_t expect_checksum) const override;
+  Status SealActive() override;
   Status Clear() override;
   Status Flush() override;
   Status Checkpoint(std::string_view metadata) override;

@@ -233,6 +233,58 @@ Status LogTopic::ScanTemplates(
                                ids, fn);
 }
 
+Status LogTopic::TemplateCountsInRange(
+    uint64_t begin_seq, uint64_t end_seq, uint64_t min_ts_us,
+    uint64_t max_ts_us,
+    std::unordered_map<TemplateId, uint64_t>* counts) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (begin_seq > end_seq) {
+    return Status::InvalidArgument("begin_seq > end_seq");
+  }
+  return store_->TemplateCountsInRange(
+      begin_seq, std::min(end_seq, store_->size()), min_ts_us, max_ts_us,
+      counts);
+}
+
+Status LogTopic::ScanTemplatesInRange(
+    uint64_t begin_seq, uint64_t end_seq, uint64_t min_ts_us,
+    uint64_t max_ts_us, const std::unordered_set<TemplateId>& ids,
+    const std::function<void(uint64_t, TemplateId)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (begin_seq > end_seq) {
+    return Status::InvalidArgument("begin_seq > end_seq");
+  }
+  return store_->ScanTemplatesInRange(
+      begin_seq, std::min(end_seq, store_->size()), min_ts_us, max_ts_us, ids,
+      fn);
+}
+
+Status LogTopic::ReplicationRead(uint64_t segment_index, uint64_t offset,
+                                 uint64_t max_bytes,
+                                 ReplicationChunk* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->ReplicationRead(segment_index, offset, max_bytes, out);
+}
+
+Status LogTopic::ReplicationPosition(uint64_t* segment_index,
+                                     uint64_t* offset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->ReplicationPosition(segment_index, offset);
+}
+
+Status LogTopic::VerifySealedSegment(uint64_t segment_index,
+                                     uint64_t expect_records,
+                                     uint64_t expect_checksum) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->VerifySealedSegment(segment_index, expect_records,
+                                     expect_checksum);
+}
+
+Status LogTopic::SealActive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->SealActive();
+}
+
 std::shared_ptr<const SealedRecordView> LogTopic::SnapshotSealed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return store_->SnapshotSealed();

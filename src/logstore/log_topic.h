@@ -108,6 +108,40 @@ class LogTopic {
       const std::unordered_set<TemplateId>& ids,
       const std::function<void(uint64_t, TemplateId)>& fn) const;
 
+  /// Time-filtered variants of the two Query primitives above: only
+  /// records with timestamp_us in [min_ts_us, max_ts_us] contribute.
+  /// Index-aware backends prune whole sealed segments via their
+  /// persisted min/max timestamps before touching record bytes.
+  Status TemplateCountsInRange(
+      uint64_t begin_seq, uint64_t end_seq, uint64_t min_ts_us,
+      uint64_t max_ts_us,
+      std::unordered_map<TemplateId, uint64_t>* counts) const;
+  Status ScanTemplatesInRange(
+      uint64_t begin_seq, uint64_t end_seq, uint64_t min_ts_us,
+      uint64_t max_ts_us, const std::unordered_set<TemplateId>& ids,
+      const std::function<void(uint64_t, TemplateId)>& fn) const;
+
+  /// Replication source: copies whole frames starting at
+  /// {segment_index, offset} into `out` (see ReplicationChunk).
+  /// NotSupported for backends without a frame representation.
+  Status ReplicationRead(uint64_t segment_index, uint64_t offset,
+                         uint64_t max_bytes, ReplicationChunk* out) const;
+
+  /// Replication resume point of THIS topic's local store: the first
+  /// {segment_index, offset} not yet present locally.
+  Status ReplicationPosition(uint64_t* segment_index, uint64_t* offset) const;
+
+  /// Checks a locally sealed segment against the primary's manifest
+  /// entry; Corruption on mismatch (divergence), NotFound if the
+  /// segment is not sealed here yet.
+  Status VerifySealedSegment(uint64_t segment_index, uint64_t expect_records,
+                             uint64_t expect_checksum) const;
+
+  /// Force-seals the active segment regardless of its size (promotion
+  /// seals the replicated tail before accepting writes). No-op when the
+  /// active segment is empty.
+  Status SealActive();
+
   /// Snapshot of the records currently SEALED on disk, scannable with
   /// no topic lock held (see SealedRecordView); nullptr when the
   /// backend has no off-lock-stable representation (memory store).

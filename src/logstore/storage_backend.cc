@@ -45,6 +45,34 @@ Status StorageBackend::ScanTemplates(
   });
 }
 
+Status StorageBackend::TemplateCountsInRange(
+    uint64_t begin, uint64_t end, uint64_t min_ts_us, uint64_t max_ts_us,
+    std::unordered_map<TemplateId, uint64_t>* counts) const {
+  if (min_ts_us == 0 && max_ts_us == UINT64_MAX) {
+    return TemplateCounts(begin, end, counts);
+  }
+  return Scan(begin, end, [&](uint64_t, const LogRecord& rec) {
+    if (rec.timestamp_us >= min_ts_us && rec.timestamp_us <= max_ts_us) {
+      ++(*counts)[rec.template_id];
+    }
+  });
+}
+
+Status StorageBackend::ScanTemplatesInRange(
+    uint64_t begin, uint64_t end, uint64_t min_ts_us, uint64_t max_ts_us,
+    const std::unordered_set<TemplateId>& ids,
+    const std::function<void(uint64_t, TemplateId)>& fn) const {
+  if (min_ts_us == 0 && max_ts_us == UINT64_MAX) {
+    return ScanTemplates(begin, end, ids, fn);
+  }
+  return Scan(begin, end, [&](uint64_t seq, const LogRecord& rec) {
+    if (rec.timestamp_us >= min_ts_us && rec.timestamp_us <= max_ts_us &&
+        ids.count(rec.template_id) != 0) {
+      fn(seq, rec.template_id);
+    }
+  });
+}
+
 MemoryBackend::MemoryBackend(size_t segment_capacity)
     : segment_capacity_(segment_capacity == 0 ? 1 : segment_capacity) {}
 

@@ -84,6 +84,33 @@ struct StorageConfig {
   SegmentCache* segment_cache = nullptr;
 };
 
+/// One chunk of a topic's replication stream (frame bytes addressed by
+/// {segment_index, offset} — the resume key). `data` always holds WHOLE
+/// record frames (logstore/frame_format.h), readable with ParseFrame and
+/// verified by the per-frame checksum, whether they came from a sealed
+/// segment file or were re-framed from the active tail (the WAL frame
+/// format IS the segment frame format, so the follower replays both the
+/// same way). The source totals let a follower compute its lag without
+/// a second round trip.
+struct ReplicationChunk {
+  uint64_t segment_index = 0;
+  /// Byte offset of data[0] within that segment.
+  uint64_t offset = 0;
+  std::string data;
+  /// True when `segment_index` is sealed on the source; the three
+  /// fields below then carry its manifest entry so the follower can
+  /// verify its own seal byte-for-byte (checksums exclude template ids,
+  /// which retraining rewrites in place on either side).
+  bool segment_sealed = false;
+  uint64_t segment_records = 0;
+  uint64_t segment_checksum = 0;
+  uint64_t segment_data_len = 0;
+  /// Source state at read time (replication lag = source - applied).
+  uint64_t source_records = 0;
+  uint64_t source_segments = 0;  // sealed segments
+  uint64_t source_bytes = 0;     // sealed frame bytes + active tail bytes
+};
+
 /// An immutable snapshot of the records that were SEALED at snapshot
 /// time: [0, end_seq()). Safe to scan with NO topic lock held — sealed
 /// segments never mutate their text bytes, and the view shares
@@ -181,6 +208,65 @@ class StorageBackend {
   virtual Status ScanTemplates(
       uint64_t begin, uint64_t end, const std::unordered_set<TemplateId>& ids,
       const std::function<void(uint64_t, TemplateId)>& fn) const;
+
+  /// Time-filtered variant of TemplateCounts: only records whose
+  /// timestamp lies in [min_ts_us, max_ts_us] are counted. The base
+  /// implementation scans; the disk backend prunes sealed segments
+  /// whose persisted [min, max] timestamp range misses the window
+  /// entirely and answers fully-covered ones from postings.
+  virtual Status TemplateCountsInRange(
+      uint64_t begin, uint64_t end, uint64_t min_ts_us, uint64_t max_ts_us,
+      std::unordered_map<TemplateId, uint64_t>* counts) const;
+
+  /// Time-filtered variant of ScanTemplates (same pruning contract as
+  /// TemplateCountsInRange).
+  virtual Status ScanTemplatesInRange(
+      uint64_t begin, uint64_t end, uint64_t min_ts_us, uint64_t max_ts_us,
+      const std::unordered_set<TemplateId>& ids,
+      const std::function<void(uint64_t, TemplateId)>& fn) const;
+
+  // --- replication (primary/replica pairs; see src/replication/) -----
+
+  /// Reads up to `max_bytes` of whole record frames starting at
+  /// {segment_index, offset} into `*out` (at least one frame when any
+  /// remain at that position, so a tiny max_bytes still progresses).
+  /// `offset` must be a frame boundary — anything else is
+  /// InvalidArgument, and an offset past the segment/tail end is
+  /// Corruption (the follower diverged; it must resync). NotSupported
+  /// for backends with no replicable representation (MemoryBackend).
+  virtual Status ReplicationRead(uint64_t segment_index, uint64_t offset,
+                                 uint64_t max_bytes,
+                                 ReplicationChunk* out) const {
+    (void)segment_index, (void)offset, (void)max_bytes, (void)out;
+    return Status::NotSupported("backend does not support replication reads");
+  }
+
+  /// The position ReplicationRead would append at next: the active
+  /// segment's index and its current frame-byte length. A restarted
+  /// follower derives its resume key from this.
+  virtual Status ReplicationPosition(uint64_t* segment_index,
+                                     uint64_t* offset) const {
+    (void)segment_index, (void)offset;
+    return Status::NotSupported("backend does not support replication reads");
+  }
+
+  /// Verifies that sealed segment `segment_index` matches the given
+  /// manifest entry (record count + checksum fold); Corruption on any
+  /// mismatch. The follower's apply loop calls this after its own seal
+  /// to prove byte-level convergence with the primary.
+  virtual Status VerifySealedSegment(uint64_t segment_index,
+                                     uint64_t expect_records,
+                                     uint64_t expect_checksum) const {
+    (void)segment_index, (void)expect_records, (void)expect_checksum;
+    return Status::NotSupported("backend does not support replication reads");
+  }
+
+  /// Seals the active segment NOW regardless of its size (no-op when it
+  /// is empty) — promote's "seal the tail" step, giving the new primary
+  /// a manifested boundary for everything applied before the failover.
+  virtual Status SealActive() {
+    return Status::NotSupported("backend does not support explicit seals");
+  }
 
   /// Drops every record (and any persisted state) — the bulk-import
   /// path of LogTopic::RecoverFrom.

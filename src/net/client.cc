@@ -60,7 +60,9 @@ void NetClient::Close() {
 Status NetClient::WriteAll(const char* data, size_t len) {
   size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::write(fd_, data + off, len - off);
+    // MSG_NOSIGNAL: a peer that died mid-exchange must surface as EPIPE
+    // to the caller, not kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;

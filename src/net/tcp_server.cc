@@ -236,8 +236,10 @@ void TcpServer::ReevaluateInterest(Worker* w, Conn* c) {
 
 bool TcpServer::FlushWrites(Conn* c) {
   while (c->wpos < c->wbuf.size()) {
-    const ssize_t n = ::write(c->fd, c->wbuf.data() + c->wpos,
-                              c->wbuf.size() - c->wpos);
+    // MSG_NOSIGNAL: writing to a client that already hung up must fail
+    // with EPIPE (we close the conn), not raise SIGPIPE.
+    const ssize_t n = ::send(c->fd, c->wbuf.data() + c->wpos,
+                             c->wbuf.size() - c->wpos, MSG_NOSIGNAL);
     if (n > 0) {
       c->wpos += static_cast<size_t>(n);
       bytes_written_.fetch_add(static_cast<uint64_t>(n));

@@ -1,0 +1,351 @@
+#include "replication/replicator.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "logstore/frame_format.h"
+#include "logstore/log_record.h"
+#include "service/log_service.h"
+#include "util/serde.h"
+
+namespace bytebrain {
+namespace replication {
+
+namespace {
+
+void SleepUs(uint64_t us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+Replicator::Replicator(api::ServiceFrontend* follower, ReplicatorConfig config)
+    : follower_(follower), config_(std::move(config)) {}
+
+Replicator::~Replicator() { Stop(); }
+
+void Replicator::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Replicator::Stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Replicator::caught_up() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return caught_up_;
+}
+
+ReplicatorStats Replicator::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+Status Replicator::WaitCaughtUp(uint64_t timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (!running_.load()) {
+      (void)RunOnce();  // drive the sync inline when no loop is running
+    }
+    if (caught_up()) return Status::OK();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Aborted("replicator did not catch up within " +
+                             std::to_string(timeout_ms) + "ms");
+    }
+    SleepUs(2'000);
+  }
+}
+
+void Replicator::Loop() {
+  while (running_.load()) {
+    const Status pass = RunOnce();
+    if (!running_.load()) break;
+    if (!pass.ok()) {
+      SleepUs(config_.retry_backoff_us);
+    } else {
+      SleepUs(config_.poll_interval_us);
+    }
+  }
+}
+
+Result<std::string> Replicator::Roundtrip(std::string request_bytes) {
+  if (config_.transport) return config_.transport(request_bytes);
+  if (!client_.connected()) {
+    const Status c = client_.Connect(config_.primary_host, config_.primary_port,
+                                     config_.recv_timeout_ms);
+    if (!c.ok()) return c;
+  }
+  auto resp = client_.Call(request_bytes);
+  // A broken connection poisons the frame stream; drop it so the next
+  // attempt reconnects cleanly.
+  if (!resp.ok()) client_.Close();
+  return resp;
+}
+
+template <typename Request, typename Response>
+Status Replicator::Call(api::ApiMethod method, const Request& req,
+                        Response* resp) {
+  const uint64_t id = next_request_id_++;
+  auto raw = Roundtrip(api::EncodeRequest(method, /*tenant=*/"", req, id,
+                                          config_.replication_token));
+  if (!raw.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.transport_errors;
+    return raw.status();
+  }
+  return api::DecodeResponse(raw.value(), resp);
+}
+
+std::string Replicator::LocalDir(const std::string& name) const {
+  // Flatten the catalog name ("tenant/topic") into one path component —
+  // the storage layer creates a single directory level.
+  std::string leaf = name;
+  for (char& c : leaf) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+    if (!ok) c = '_';
+  }
+  return config_.storage_root + "/" + leaf;
+}
+
+void Replicator::Resync(const std::string& name) {
+  (void)follower_->service()->DeleteTopic(name, /*purge_storage=*/true);
+  cursors_.erase(name);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.divergences;
+}
+
+Status Replicator::RunOnce() {
+  // A promoted node stops mirroring: the pass is a no-op (and reports
+  // caught up so WaitCaughtUp callers do not hang on a promotion race).
+  if (!follower_->is_follower()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    caught_up_ = true;
+    return Status::OK();
+  }
+
+  // 1. Enumerate the primary's catalog.
+  api::ReplPullRequest enumerate;
+  api::ReplPullResponse catalog;
+  Status s = Call(api::ApiMethod::kReplPull, enumerate, &catalog);
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    caught_up_ = false;
+    return s;
+  }
+
+  // 2. Drop local topics the primary no longer has.
+  LogService* service = follower_->service();
+  for (const std::string& local : service->TopicNames()) {
+    bool on_primary = false;
+    for (const std::string& remote : catalog.topics) {
+      if (remote == local) {
+        on_primary = true;
+        break;
+      }
+    }
+    if (!on_primary) {
+      (void)service->DeleteTopic(local, /*purge_storage=*/true);
+      cursors_.erase(local);
+    }
+  }
+
+  // 3. Pull every topic to the primary's current position.
+  Status first_error = Status::OK();
+  bool all_caught_up = true;
+  for (const std::string& name : catalog.topics) {
+    if (!running_.load() && thread_.joinable()) break;  // Stop() requested
+    bool topic_caught_up = false;
+    const Status ts = SyncTopic(name, &topic_caught_up);
+    if (!ts.ok() && first_error.ok()) first_error = ts;
+    if (!topic_caught_up) all_caught_up = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    caught_up_ = first_error.ok() && all_caught_up;
+  }
+  return first_error;
+}
+
+Status Replicator::SyncTopic(const std::string& name, bool* topic_caught_up) {
+  *topic_caught_up = false;
+  LogService* service = follower_->service();
+
+  std::shared_ptr<ManagedTopic> topic;
+  {
+    auto existing = service->GetTopic(name);
+    if (existing.ok()) topic = std::move(existing).value();
+  }
+
+  TopicCursor& cursor = cursors_[name];
+  if (topic == nullptr) cursor = TopicCursor();
+
+  bool need_position = false;
+  if (topic == nullptr) {
+    // First contact (or post-divergence resync): fetch the config with
+    // the first pull and create the topic locally before applying.
+    api::ReplPullRequest req;
+    req.topic = name;
+    req.want_config = true;
+    req.max_bytes = 1;  // config + position only; data pulls follow
+    api::ReplPullResponse resp;
+    Status s = Call(api::ApiMethod::kReplPull, req, &resp);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.pulls;
+    }
+    if (s.IsNotFound()) {  // deleted on the primary mid-pass
+      *topic_caught_up = true;
+      return Status::OK();
+    }
+    if (s.IsNotSupported()) {  // memory-backed topic: nothing to ship
+      *topic_caught_up = true;
+      return Status::OK();
+    }
+    BB_RETURN_IF_ERROR(s);
+    if (!resp.has_config) {
+      return Status::Corruption("primary did not ship a config for topic '" +
+                                name + "'");
+    }
+    TopicConfig config = resp.config;
+    config.storage.directory = LocalDir(name);
+    if (config_.storage_config_hook) {
+      config_.storage_config_hook(&config.storage);
+    }
+    auto created = service->CreateTopic(name, std::move(config));
+    BB_RETURN_IF_ERROR(created.status());
+    topic = std::move(created).value();
+    need_position = true;
+  } else if (cursor.segment_index == 0 && cursor.offset == 0 &&
+             cursor.model_generation == UINT64_MAX) {
+    // Existing topic without a cursor: a replicator restart over
+    // recovered storage. Resume from what the local topic persisted.
+    need_position = true;
+  }
+  if (need_position) {
+    Status pos =
+        topic->ReplicationPosition(&cursor.segment_index, &cursor.offset);
+    if (pos.IsNotSupported()) {
+      *topic_caught_up = true;
+      return Status::OK();
+    }
+    BB_RETURN_IF_ERROR(pos);
+  }
+
+  // Pull until caught up (empty data on the unsealed tail).
+  while (true) {
+    if (!follower_->is_follower()) return Status::OK();  // promoted mid-pull
+    api::ReplPullRequest req;
+    req.topic = name;
+    req.segment_index = cursor.segment_index;
+    req.offset = cursor.offset;
+    req.max_bytes = config_.max_bytes_per_pull;
+    req.model_generation = cursor.model_generation;
+    api::ReplPullResponse resp;
+    Status s = Call(api::ApiMethod::kReplPull, req, &resp);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.pulls;
+    }
+    if (s.IsNotFound()) {  // deleted on the primary mid-pass
+      *topic_caught_up = true;
+      return Status::OK();
+    }
+    if (s.IsInvalidArgument() || s.IsCorruption()) {
+      // Our cursor does not address a frame boundary the primary knows:
+      // the histories diverged (e.g. the primary was rebuilt). Drop and
+      // re-sync from scratch.
+      topic.reset();  // release before DeleteTopic (it waits on holders)
+      Resync(name);
+      return s;
+    }
+    BB_RETURN_IF_ERROR(s);
+
+    // A model newer than ours ships alongside the frames; apply it
+    // first so queries on the follower see templates for the records
+    // being appended.
+    if (resp.has_model) {
+      BB_RETURN_IF_ERROR(topic->ApplyReplicatedModel(resp.model_blob));
+    }
+    cursor.model_generation = resp.model_generation;
+
+    if (!resp.data.empty()) {
+      // Parse whole frames (checksummed) and append them with their
+      // shipped template ids — no matching, no training on this path.
+      std::vector<LogRecord> records;
+      ByteReader reader(resp.data.data(), resp.data.size());
+      while (reader.remaining() > 0) {
+        logframe::Frame frame;
+        if (!logframe::ParseFrame(&reader, resp.data.data(), &frame)) {
+          topic.reset();
+          Resync(name);
+          return Status::Corruption(
+              "replication chunk failed frame verification for topic '" +
+              name + "'");
+        }
+        LogRecord rec;
+        rec.timestamp_us = frame.ts;
+        rec.template_id = frame.tid;
+        rec.text.assign(frame.text.data(), frame.text.size());
+        records.push_back(std::move(rec));
+      }
+      const uint64_t applied_records = records.size();
+      const uint64_t applied_bytes = resp.data.size();
+      BB_RETURN_IF_ERROR(topic->ApplyReplicated(std::move(records)));
+      cursor.offset += applied_bytes;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.applied_records += applied_records;
+      stats_.applied_bytes += applied_bytes;
+    }
+
+    if (resp.segment_sealed && cursor.offset >= resp.segment_data_len) {
+      // Seal boundary: the primary sealed this segment at data_len. An
+      // identical config seals the local tail at the same threshold
+      // automatically; an explicit primary seal (promotion) is mirrored
+      // by sealing here. Either way the local segment must now match
+      // the primary's manifest entry byte-for-byte.
+      BB_RETURN_IF_ERROR(topic->SealTail(nullptr));
+      const Status verify = topic->VerifySealedSegment(
+          cursor.segment_index, resp.segment_records, resp.segment_checksum);
+      if (!verify.ok()) {
+        topic.reset();
+        Resync(name);
+        return verify;
+      }
+      cursor.segment_index += 1;
+      cursor.offset = 0;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.segments_sealed;
+      continue;
+    }
+
+    // Publish lag: the primary's totals came with this response; our
+    // own totals come from a local ReplicationRead at our position
+    // (which fills the same source_* fields without moving anything).
+    uint64_t lseg = 0, loff = 0;
+    ReplicationChunk local;
+    if (topic->ReplicationPosition(&lseg, &loff).ok() &&
+        topic->ReplicationRead(lseg, loff, 1, &local).ok()) {
+      const auto behind = [](uint64_t source, uint64_t local_v) {
+        return source > local_v ? source - local_v : 0;
+      };
+      topic->SetReplicationLag(
+          behind(resp.source_bytes, local.source_bytes),
+          behind(resp.source_records, local.source_records),
+          behind(resp.source_segments, local.source_segments));
+    }
+
+    if (resp.data.empty()) {  // unsealed tail, nothing new: caught up
+      *topic_caught_up = true;
+      return Status::OK();
+    }
+  }
+}
+
+}  // namespace replication
+}  // namespace bytebrain

@@ -1,0 +1,164 @@
+// Replicator — the follower half of primary/replica replication.
+//
+// A follower node runs a normal ServiceFrontend in follower mode
+// (writes rejected with a redirect hint, reads served locally) plus one
+// Replicator, which keeps the local topic catalog in lockstep with a
+// primary by PULLING the replication stream over the existing envelope
+// protocol (ApiMethod::kReplPull):
+//
+//   1. Enumerate: an empty-topic ReplPull returns the primary's topic
+//      list. Missing topics are created locally with the primary's
+//      shipped TopicConfig (re-rooted under `storage_root`); local
+//      topics the primary no longer has are deleted.
+//   2. Catch up: per topic, pull frame bytes addressed by
+//      {segment_index, offset} — whole record frames in the ONE frame
+//      format segments and the WAL share (logstore/frame_format.h) —
+//      parse them with ParseFrame (per-frame checksum verified), and
+//      append them locally with their shipped template ids (no
+//      matching, no training: the model itself ships as a serialized
+//      blob whenever the primary's model generation moves).
+//   3. Seal in lockstep: when the primary reports a segment sealed and
+//      the cursor reaches its data_len, the follower seals its own tail
+//      at the same boundary and verifies record count + checksum
+//      against the primary's manifest entry. Identical configs and
+//      identical frame bytes make the segment files byte-identical; a
+//      mismatch is a divergence — the local topic is dropped and
+//      re-synced from {0, 0}.
+//
+// Resumability: the cursor is derived from the LOCAL topic's
+// ReplicationPosition after every (re)open, so a follower crash or
+// restart resumes from exactly what its own storage recovered — no
+// replicator-side checkpoint to keep consistent.
+//
+// Lag: after each pull the follower computes bytes/records/segments
+// behind from the primary's source totals minus its own position and
+// publishes them into TopicStats (visible through GetStats on the
+// follower, wire tags 33-35).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "api/frontend.h"
+#include "api/messages.h"
+#include "net/client.h"
+#include "util/status.h"
+
+namespace bytebrain {
+namespace replication {
+
+struct ReplicatorConfig {
+  /// Primary endpoint (TCP path; ignored when `transport` is set).
+  std::string primary_host = "127.0.0.1";
+  uint16_t primary_port = 0;
+  /// Peer token; must equal the primary's FrontendConfig
+  /// replication_token or every pull is PermissionDenied.
+  std::string replication_token;
+  /// Local root for replicated topic storage; each topic lives in
+  /// `<storage_root>/<sanitized topic name>`.
+  std::string storage_root;
+  /// Upper bound per pull (whole frames; at least one frame ships).
+  uint64_t max_bytes_per_pull = 1ull << 20;
+  /// Sleep between sync passes once caught up.
+  uint64_t poll_interval_us = 20'000;
+  /// Sleep after a transport / primary error before retrying.
+  uint64_t retry_backoff_us = 50'000;
+  /// Socket receive timeout for the TCP path.
+  uint64_t recv_timeout_ms = 10'000;
+  /// Test seam: when set, encoded request bytes go through this
+  /// function instead of a TCP connection — wire two frontends together
+  /// in process, or wrap a real transport to inject link faults. The
+  /// returned string is the response frame payload.
+  std::function<Result<std::string>(std::string_view)> transport;
+  /// Test seam: mutate each replicated topic's StorageConfig before the
+  /// local CreateTopic (FaultInjectingFileOps wiring).
+  std::function<void(StorageConfig*)> storage_config_hook;
+};
+
+struct ReplicatorStats {
+  uint64_t pulls = 0;            // kReplPull round trips issued
+  uint64_t applied_records = 0;  // records appended locally
+  uint64_t applied_bytes = 0;    // frame bytes appended locally
+  uint64_t segments_sealed = 0;  // seal boundaries crossed + verified
+  uint64_t transport_errors = 0;
+  uint64_t divergences = 0;  // local topics dropped and re-synced
+};
+
+class Replicator {
+ public:
+  /// `follower` is the local node's frontend (not owned; must outlive
+  /// the replicator). Topics are created/deleted through its trusted
+  /// service() surface, bypassing the follower-mode write gate.
+  Replicator(api::ServiceFrontend* follower, ReplicatorConfig config);
+  ~Replicator();
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// Starts the background sync loop. Idempotent.
+  void Start();
+  /// Stops the loop and joins the thread. Idempotent; also called by
+  /// the destructor.
+  void Stop();
+
+  /// One full sync pass: enumerate, reconcile the catalog, pull every
+  /// topic until caught up. Tests drive this directly for determinism;
+  /// the background loop calls it repeatedly. Returns the first error
+  /// encountered (the pass still visits the remaining topics).
+  Status RunOnce();
+
+  /// True when the most recent pass saw every topic caught up.
+  bool caught_up() const;
+
+  /// Polls until caught_up() (running RunOnce inline when the
+  /// background loop is not started). DeadlineExceeded on timeout.
+  Status WaitCaughtUp(uint64_t timeout_ms);
+
+  ReplicatorStats stats() const;
+
+ private:
+  struct TopicCursor {
+    uint64_t segment_index = 0;
+    uint64_t offset = 0;
+    /// Last model generation applied (UINT64_MAX = never; forces one
+    /// model fetch on the first pull).
+    uint64_t model_generation = UINT64_MAX;
+  };
+
+  /// Sends one typed request to the primary over the configured
+  /// transport, with the replication token in the envelope.
+  template <typename Request, typename Response>
+  Status Call(api::ApiMethod method, const Request& req, Response* resp);
+  Result<std::string> Roundtrip(std::string request_bytes);
+
+  /// Syncs one topic to the primary's current position. `name` is the
+  /// full catalog name ("tenant/topic").
+  Status SyncTopic(const std::string& name, bool* topic_caught_up);
+  /// Drops the local topic so the next pass re-syncs it from scratch.
+  void Resync(const std::string& name);
+  std::string LocalDir(const std::string& name) const;
+
+  void Loop();
+
+  api::ServiceFrontend* const follower_;
+  const ReplicatorConfig config_;
+  net::NetClient client_;
+  uint64_t next_request_id_ = 1;
+  std::map<std::string, TopicCursor> cursors_;
+
+  mutable std::mutex stats_mu_;
+  ReplicatorStats stats_;
+  bool caught_up_ = false;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace replication
+}  // namespace bytebrain

@@ -1020,8 +1020,13 @@ Result<QueryPage> ManagedTopic::QueryGroups(const QueryPageRequest& req) const {
 
   // Counts per RAW stored template id, from the storage postings —
   // fully-sealed windows are answered without touching record bytes.
+  // A time-range predicate routes through the range variant, which
+  // prunes sealed segments via their persisted min/max timestamps and
+  // keeps the postings fast path for segments fully inside the window;
+  // the defaults delegate to the unfiltered path unchanged.
   std::unordered_map<TemplateId, uint64_t> raw_counts;
-  BB_RETURN_IF_ERROR(topic_.TemplateCounts(begin, end, &raw_counts));
+  BB_RETURN_IF_ERROR(topic_.TemplateCountsInRange(
+      begin, end, req.min_timestamp_us, req.max_timestamp_us, &raw_counts));
 
   // Resolution at the threshold depends only on the template id, so it
   // runs once per DISTINCT raw id — not once per record as the old
@@ -1100,8 +1105,9 @@ Result<QueryPage> ManagedTopic::QueryGroups(const QueryPageRequest& req) const {
     for (const auto& [raw, resolved] : resolved_of) {
       if (page_index.count(resolved) != 0) wanted.insert(raw);
     }
-    BB_RETURN_IF_ERROR(topic_.ScanTemplates(
-        begin, end, wanted, [&](uint64_t seq, TemplateId raw) {
+    BB_RETURN_IF_ERROR(topic_.ScanTemplatesInRange(
+        begin, end, req.min_timestamp_us, req.max_timestamp_us, wanted,
+        [&](uint64_t seq, TemplateId raw) {
           page.groups[page_index.at(resolved_of.at(raw))]
               .sequence_numbers.push_back(seq);
         }));
@@ -1239,6 +1245,95 @@ std::vector<std::string> ManagedTopic::TemplateTexts() const {
 TopicConfig ManagedTopic::config() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return config_;
+}
+
+Status ManagedTopic::ReplicationRead(uint64_t segment_index, uint64_t offset,
+                                     uint64_t max_bytes,
+                                     ReplicationChunk* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return topic_.ReplicationRead(segment_index, offset, max_bytes, out);
+}
+
+Status ManagedTopic::ReplicationPosition(uint64_t* segment_index,
+                                         uint64_t* offset) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return topic_.ReplicationPosition(segment_index, offset);
+}
+
+Status ManagedTopic::VerifySealedSegment(uint64_t segment_index,
+                                         uint64_t expect_records,
+                                         uint64_t expect_checksum) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return topic_.VerifySealedSegment(segment_index, expect_records,
+                                    expect_checksum);
+}
+
+Status ManagedTopic::ApplyReplicated(std::vector<LogRecord> records) {
+  if (records.empty()) return Status::OK();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const LogRecord& rec : records) {
+    stats_.ingested_bytes += rec.text.size();
+  }
+  stats_.ingested_records += records.size();
+  // No matching, no adoption, no training triggers: the stream carries
+  // the primary's template assignments, and applying them through the
+  // ordinary append path reproduces the primary's frames byte for byte
+  // (same config ⇒ same seal boundaries).
+  topic_.AppendBatch(std::move(records));
+  lock.unlock();
+  (void)topic_.WaitDurable();
+  // Surface a sticky storage failure to the replicator: records that
+  // only live in this follower's memory are NOT replicated — the
+  // follower must stop claiming it holds the primary's bytes.
+  return topic_.storage_status();
+}
+
+Status ManagedTopic::ApplyReplicatedModel(const std::string& blob) {
+  auto model = TemplateModel::Deserialize(blob);
+  BB_RETURN_IF_ERROR(model.status());
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  PreparedRetrain prepared;
+  prepared.model = std::move(model).value();
+  prepared.matcher = std::make_unique<TemplateMatcher>(prepared.model,
+                                                       &parser_.replacer());
+  parser_.CommitRetrain(std::move(prepared));
+  trained_ = true;
+  ++model_generation_;
+  stats_.num_templates = parser_.model().size();
+  stats_.model_bytes = parser_.ModelBytes();
+  parser_.model().ExportTo(&internal_);
+  return Status::OK();
+}
+
+Status ManagedTopic::SealTail(bool* sealed) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const uint64_t before = topic_.sealed_segment_count();
+  Status s = topic_.SealActive();
+  if (s.IsNotSupported()) {
+    // Memory-backed topic: no frame representation, nothing to seal.
+    if (sealed != nullptr) *sealed = false;
+    return Status::OK();
+  }
+  if (sealed != nullptr) *sealed = topic_.sealed_segment_count() > before;
+  return s;
+}
+
+void ManagedTopic::SetReplicationLag(uint64_t lag_bytes, uint64_t lag_records,
+                                     uint64_t lag_segments) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  stats_.replication_lag_bytes = lag_bytes;
+  stats_.replication_lag_records = lag_records;
+  stats_.replication_lag_segments = lag_segments;
+}
+
+uint64_t ManagedTopic::ModelGeneration() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return model_generation_;
+}
+
+std::string ManagedTopic::SerializedModel() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return parser_.model().Serialize();
 }
 
 namespace {

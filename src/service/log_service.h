@@ -250,6 +250,19 @@ struct TopicStats {
   /// budget for "page N does O(page) work": postings-answered counts
   /// and postings-skipped segments add NOTHING here.
   uint64_t storage_scan_record_visits = 0;
+  // --- replication ---
+  /// How far this node trails its primary, as of the last replication
+  /// pull: primary totals minus locally applied. All zero on a primary
+  /// (and on a follower that has fully caught up). Lag is measured in
+  /// the same units the stream ships — frame bytes, records, sealed
+  /// segments — so `lag_bytes == 0` means byte-identical stores.
+  uint64_t replication_lag_bytes = 0;
+  uint64_t replication_lag_records = 0;
+  uint64_t replication_lag_segments = 0;
+  /// 0 = primary (accepts writes), 1 = follower (read-only, replicating).
+  /// Filled by the frontend from its role flag; topics themselves are
+  /// role-agnostic.
+  uint32_t replica_role = 0;
 };
 
 /// One page of a template-grouped query (ManagedTopic::QueryGroups).
@@ -273,6 +286,13 @@ struct QueryPageRequest {
   bool has_resume_key = false;
   uint64_t resume_count = 0;
   TemplateId resume_template_id = kInvalidTemplateId;
+  /// Time-range predicate: only records with timestamp_us inside
+  /// [min_timestamp_us, max_timestamp_us] contribute. Defaults select
+  /// everything (the unfiltered fast paths apply). Sealed segments
+  /// whose persisted min/max timestamps miss the window are pruned
+  /// without being read.
+  uint64_t min_timestamp_us = 0;
+  uint64_t max_timestamp_us = UINT64_MAX;
 };
 
 struct QueryPage {
@@ -471,6 +491,56 @@ class ManagedTopic {
 
   /// Locking: shared.
   bool trained() const;
+
+  // --- Replication ---------------------------------------------------
+  // The topic-level surface the replication layer drives. The primary
+  // side (reads) takes the lock SHARED — appends are exclusive, so a
+  // chunk is always a consistent prefix; the follower side (applies)
+  // takes it EXCLUSIVE, exactly like ingest.
+
+  /// Primary: copies whole frames starting at {segment_index, offset}
+  /// into `out`, plus source totals for lag accounting. Locking: shared.
+  Status ReplicationRead(uint64_t segment_index, uint64_t offset,
+                         uint64_t max_bytes, ReplicationChunk* out) const;
+
+  /// Either side: the first {segment_index, offset} not present in the
+  /// local store — the follower's resume point after a restart.
+  /// Locking: shared.
+  Status ReplicationPosition(uint64_t* segment_index, uint64_t* offset) const;
+
+  /// Follower: checks a locally sealed segment against the primary's
+  /// manifest numbers; Corruption = divergence. Locking: shared.
+  Status VerifySealedSegment(uint64_t segment_index, uint64_t expect_records,
+                             uint64_t expect_checksum) const;
+
+  /// Follower: appends records decoded from a replication chunk with
+  /// their SHIPPED template ids — no matching, no adoption, no training
+  /// triggers; the primary's assignments are authoritative. Locking:
+  /// exclusive.
+  Status ApplyReplicated(std::vector<LogRecord> records);
+
+  /// Follower: installs the primary's serialized model (same restore
+  /// path construction-time recovery uses: deserialize, rebuild the
+  /// matcher, republish template metadata). Locking: exclusive.
+  Status ApplyReplicatedModel(const std::string& blob);
+
+  /// Promotion: force-seals the replicated tail so post-promote writes
+  /// start a fresh segment. Returns OK with *sealed=false when the tail
+  /// was empty. Locking: exclusive.
+  Status SealTail(bool* sealed);
+
+  /// Follower: publishes this topic's lag numbers into stats().
+  /// Locking: exclusive (a plain stats write).
+  void SetReplicationLag(uint64_t lag_bytes, uint64_t lag_records,
+                         uint64_t lag_segments);
+
+  /// Current model generation (bumped per training swap and adoption) —
+  /// the replication stream's "model changed?" probe. Locking: shared.
+  uint64_t ModelGeneration() const;
+
+  /// Serialized current model (TemplateModel::Serialize). Locking:
+  /// shared.
+  std::string SerializedModel() const;
 
  private:
   /// One ingest sub-shard (TopicConfig::num_ingest_shards > 1). A shard

@@ -27,6 +27,10 @@ class Status {
     kAlreadyExists,
     kResourceExhausted,
     kPermissionDenied,
+    /// The node cannot serve this request in its current role (e.g. a
+    /// replication follower rejecting a write); the message carries a
+    /// redirect hint when one is configured. Wire value appended in v2.
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -59,6 +63,9 @@ class Status {
   static Status PermissionDenied(std::string_view msg) {
     return Status(Code::kPermissionDenied, msg);
   }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -74,6 +81,7 @@ class Status {
   bool IsPermissionDenied() const {
     return code_ == Code::kPermissionDenied;
   }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -93,6 +101,7 @@ class Status {
       case Code::kAlreadyExists: name = "AlreadyExists"; break;
       case Code::kResourceExhausted: name = "ResourceExhausted"; break;
       case Code::kPermissionDenied: name = "PermissionDenied"; break;
+      case Code::kUnavailable: name = "Unavailable"; break;
     }
     return name + ": " + message_;
   }

@@ -1,0 +1,668 @@
+// Primary/replica replication battery: follower catch-up to
+// byte-identical segment files, model shipping, read-only follower mode
+// with redirect hints, explicit promote/demote, replication lag through
+// the wire GetStats, resumable cursors across replicator restarts, and
+// the fault matrix — follower killed at every storage op index and the
+// link dropped mid-segment — all of which must reconverge with zero
+// acked loss and no duplicates.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/frontend.h"
+#include "api/messages.h"
+#include "logstore/fault_injection.h"
+#include "replication/replicator.h"
+#include "service/log_service.h"
+
+namespace bytebrain {
+namespace {
+
+using api::ApiMethod;
+using api::CreateTopicRequest;
+using api::CreateTopicResponse;
+using api::DecodeResponse;
+using api::EncodeRequest;
+using api::FrontendConfig;
+using api::GetStatsRequest;
+using api::GetStatsResponse;
+using api::IngestBatchRequest;
+using api::IngestBatchResponse;
+using api::PromoteRequest;
+using api::PromoteResponse;
+using api::QueryRequest;
+using api::QueryResponse;
+using api::ServiceFrontend;
+using replication::Replicator;
+using replication::ReplicatorConfig;
+
+constexpr char kPeerToken[] = "peer-secret";
+
+class TempDir {
+ public:
+  TempDir() {
+    static std::atomic<uint64_t> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             ("bb_repl_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter.fetch_add(1))))
+                .string();
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string SshLog(int i) {
+  return "Accepted password for user" + std::to_string(i % 5) +
+         " from 10.0.0." + std::to_string(i % 9 + 1) + " port " +
+         std::to_string(40000 + i) + " ssh2";
+}
+
+/// A disk + WAL-group-commit topic config with small segments (so a few
+/// dozen records cross several seal boundaries). Training is disabled
+/// by default: byte-identity assertions need the primary to never
+/// rewrite sealed template ids after frames have shipped.
+TopicConfig ReplTopicConfig(uint64_t initial_train_records = 1u << 30) {
+  TopicConfig config;
+  config.initial_train_records = initial_train_records;
+  config.train_interval_records = 1u << 30;
+  config.train_volume_bytes = 1ull << 40;
+  config.num_threads = 2;
+  config.async_training = false;
+  config.storage.kind = StorageConfig::Kind::kSegmentedDisk;
+  config.storage.segment_data_bytes = 2048;
+  config.durability = DurabilityMode::kWalGroupCommit;
+  return config;
+}
+
+Status CreateReplTopic(ServiceFrontend& frontend, const std::string& tenant,
+                       const std::string& name,
+                       uint64_t initial_train_records = 1u << 30) {
+  CreateTopicRequest req;
+  req.name = name;
+  req.config = ReplTopicConfig(initial_train_records);
+  CreateTopicResponse resp;
+  return frontend.CreateTopic(tenant, req, &resp);
+}
+
+Status IngestN(ServiceFrontend& frontend, const std::string& tenant,
+               const std::string& topic, int n, int base = 0) {
+  IngestBatchRequest req;
+  req.topic = topic;
+  for (int i = 0; i < n; ++i) {
+    req.texts.push_back(SshLog(base + i));
+    req.timestamps_us.push_back(static_cast<uint64_t>(base + i + 1));
+  }
+  IngestBatchResponse resp;
+  return frontend.IngestBatch(tenant, std::move(req), &resp, nullptr);
+}
+
+uint64_t QueryTotal(ServiceFrontend& frontend, const std::string& tenant,
+                    const std::string& topic) {
+  QueryRequest req;
+  req.topic = topic;
+  req.include_sequence_numbers = false;
+  QueryResponse resp;
+  if (!frontend.Query(tenant, req, &resp).ok()) return UINT64_MAX;
+  uint64_t total = 0;
+  for (const auto& g : resp.groups) total += g.count;
+  return total;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Asserts every sealed segment file of the primary topic directory has
+/// a byte-identical twin in the follower topic directory.
+void ExpectSegmentsByteIdentical(const std::string& primary_dir,
+                                 const std::string& follower_dir) {
+  size_t compared = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(primary_dir)) {
+    const std::string fname = entry.path().filename().string();
+    if (fname.rfind("seg-", 0) != 0) continue;
+    // Skip the primary's ACTIVE (unsealed) segment: the follower's tail
+    // holds the same frames but is only compared once sealed.
+    const std::string follower_file = follower_dir + "/" + fname;
+    if (!std::filesystem::exists(follower_file)) continue;
+    const std::string a = ReadFile(entry.path().string());
+    const std::string b = ReadFile(follower_file);
+    if (a.size() != b.size()) continue;  // active vs partial tail
+    EXPECT_EQ(a, b) << "segment file diverged: " << fname;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u) << "no segment files compared between "
+                          << primary_dir << " and " << follower_dir;
+}
+
+/// One in-process primary/follower pair wired through a transport
+/// function (no TCP): the follower's replicator dispatches straight
+/// into the primary frontend.
+struct Pair {
+  TempDir primary_root;
+  TempDir follower_root;
+  std::unique_ptr<ServiceFrontend> primary;
+  std::unique_ptr<ServiceFrontend> follower;
+
+  Pair() {
+    FrontendConfig pconfig;
+    pconfig.storage_root = primary_root.path();
+    pconfig.replication_token = kPeerToken;
+    primary = std::make_unique<ServiceFrontend>(pconfig);
+
+    FrontendConfig fconfig;
+    fconfig.start_as_follower = true;
+    fconfig.primary_hint = "primary.example:4070";
+    fconfig.replication_token = kPeerToken;
+    follower = std::make_unique<ServiceFrontend>(fconfig);
+  }
+
+  ReplicatorConfig MakeReplicatorConfig() {
+    ReplicatorConfig config;
+    config.replication_token = kPeerToken;
+    config.storage_root = follower_root.path();
+    config.transport = [this](std::string_view bytes) {
+      return Result<std::string>(primary->Dispatch(bytes));
+    };
+    return config;
+  }
+
+  std::string PrimaryTopicDir(const std::string& tenant,
+                              const std::string& topic) const {
+    return primary_root.path() + "/" + tenant + "/" + topic;
+  }
+  std::string FollowerTopicDir(const std::string& tenant,
+                               const std::string& topic) const {
+    return follower_root.path() + "/" + tenant + "_" + topic;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Catch-up and byte identity
+// ---------------------------------------------------------------------
+
+TEST(ReplicationTest, FollowerCatchesUpByteIdentical) {
+  Pair pair;
+  ASSERT_TRUE(CreateReplTopic(*pair.primary, "acme", "events").ok());
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "events", 120).ok());
+
+  Replicator repl(pair.follower.get(), pair.MakeReplicatorConfig());
+  ASSERT_TRUE(repl.WaitCaughtUp(10'000).ok());
+
+  EXPECT_EQ(QueryTotal(*pair.follower, "acme", "events"), 120u);
+  EXPECT_EQ(QueryTotal(*pair.primary, "acme", "events"), 120u);
+  ExpectSegmentsByteIdentical(pair.PrimaryTopicDir("acme", "events"),
+                              pair.FollowerTopicDir("acme", "events"));
+
+  const auto stats = repl.stats();
+  EXPECT_EQ(stats.applied_records, 120u);
+  EXPECT_GT(stats.segments_sealed, 0u);
+  EXPECT_EQ(stats.divergences, 0u);
+
+  // Incremental: new primary records flow on the next pass, applied
+  // exactly once (no re-ship of what the cursor already covers).
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "events", 30, 120).ok());
+  ASSERT_TRUE(repl.WaitCaughtUp(10'000).ok());
+  EXPECT_EQ(QueryTotal(*pair.follower, "acme", "events"), 150u);
+  EXPECT_EQ(repl.stats().applied_records, 150u);
+}
+
+TEST(ReplicationTest, ModelShipsAndFollowerServesGroupedQueries) {
+  Pair pair;
+  ASSERT_TRUE(
+      CreateReplTopic(*pair.primary, "acme", "events", /*train=*/50).ok());
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "events", 160).ok());
+
+  Replicator repl(pair.follower.get(), pair.MakeReplicatorConfig());
+  ASSERT_TRUE(repl.WaitCaughtUp(10'000).ok());
+
+  // The trained model shipped: the follower groups records by the same
+  // templates the primary does, without ever training locally.
+  QueryRequest query;
+  query.topic = "events";
+  query.include_sequence_numbers = false;
+  QueryResponse on_primary, on_follower;
+  ASSERT_TRUE(pair.primary->Query("acme", query, &on_primary).ok());
+  ASSERT_TRUE(pair.follower->Query("acme", query, &on_follower).ok());
+  ASSERT_EQ(on_follower.groups.size(), on_primary.groups.size());
+  std::map<std::string, uint64_t> primary_counts, follower_counts;
+  for (const auto& g : on_primary.groups) {
+    primary_counts[g.template_text] += g.count;
+  }
+  for (const auto& g : on_follower.groups) {
+    follower_counts[g.template_text] += g.count;
+  }
+  EXPECT_EQ(follower_counts, primary_counts);
+
+  GetStatsRequest stats_req;
+  stats_req.topic = "events";
+  GetStatsResponse stats;
+  ASSERT_TRUE(pair.follower->GetStats("acme", stats_req, &stats).ok());
+  EXPECT_GT(stats.stats.num_templates, 0u);
+}
+
+TEST(ReplicationTest, CatalogReconcilesCreatesAndDeletes) {
+  Pair pair;
+  ASSERT_TRUE(CreateReplTopic(*pair.primary, "acme", "alpha").ok());
+  ASSERT_TRUE(CreateReplTopic(*pair.primary, "acme", "beta").ok());
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "alpha", 20).ok());
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "beta", 10).ok());
+
+  Replicator repl(pair.follower.get(), pair.MakeReplicatorConfig());
+  ASSERT_TRUE(repl.WaitCaughtUp(10'000).ok());
+  EXPECT_EQ(QueryTotal(*pair.follower, "acme", "alpha"), 20u);
+  EXPECT_EQ(QueryTotal(*pair.follower, "acme", "beta"), 10u);
+
+  // A topic deleted on the primary disappears from the follower on the
+  // next pass.
+  api::DeleteTopicRequest drop;
+  drop.name = "beta";
+  api::DeleteTopicResponse dropped;
+  ASSERT_TRUE(pair.primary->DeleteTopic("acme", drop, &dropped).ok());
+  ASSERT_TRUE(repl.WaitCaughtUp(10'000).ok());
+  EXPECT_EQ(QueryTotal(*pair.follower, "acme", "beta"), UINT64_MAX);
+  EXPECT_EQ(QueryTotal(*pair.follower, "acme", "alpha"), 20u);
+}
+
+// ---------------------------------------------------------------------
+// Follower mode: read-only with a redirect hint
+// ---------------------------------------------------------------------
+
+TEST(ReplicationTest, FollowerRejectsWritesWithRedirectHint) {
+  Pair pair;
+  ASSERT_TRUE(CreateReplTopic(*pair.primary, "acme", "events").ok());
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "events", 30).ok());
+  Replicator repl(pair.follower.get(), pair.MakeReplicatorConfig());
+  ASSERT_TRUE(repl.WaitCaughtUp(10'000).ok());
+
+  // Every write-shaped method is refused with kUnavailable + hint.
+  const Status ingest = IngestN(*pair.follower, "acme", "events", 1);
+  EXPECT_TRUE(ingest.IsUnavailable());
+  EXPECT_NE(ingest.message().find("primary.example:4070"), std::string::npos);
+  EXPECT_TRUE(CreateReplTopic(*pair.follower, "acme", "other")
+                  .IsUnavailable());
+  api::DeleteTopicRequest drop;
+  drop.name = "events";
+  api::DeleteTopicResponse dropped;
+  EXPECT_TRUE(pair.follower->DeleteTopic("acme", drop, &dropped)
+                  .IsUnavailable());
+  api::TrainNowRequest train;
+  train.topic = "events";
+  api::TrainNowResponse trained;
+  EXPECT_TRUE(pair.follower->TrainNow("acme", train, &trained)
+                  .IsUnavailable());
+
+  // Reads are served locally.
+  EXPECT_EQ(QueryTotal(*pair.follower, "acme", "events"), 30u);
+  GetStatsRequest stats_req;
+  stats_req.topic = "events";
+  GetStatsResponse stats;
+  ASSERT_TRUE(pair.follower->GetStats("acme", stats_req, &stats).ok());
+  EXPECT_EQ(stats.stats.replica_role, 1u);
+}
+
+TEST(ReplicationTest, ReplicationSurfaceRequiresPeerToken) {
+  Pair pair;
+  ASSERT_TRUE(CreateReplTopic(*pair.primary, "acme", "events").ok());
+
+  api::ReplPullRequest pull;  // catalog enumeration
+  api::ReplPullResponse pulled;
+  // Correct token: served.
+  EXPECT_TRUE(
+      DecodeResponse(pair.primary->Dispatch(EncodeRequest(
+                         ApiMethod::kReplPull, "", pull, 1, kPeerToken)),
+                     &pulled)
+          .ok());
+  // Wrong/missing token: denied with one constant error.
+  EXPECT_TRUE(DecodeResponse(pair.primary->Dispatch(EncodeRequest(
+                                 ApiMethod::kReplPull, "", pull, 2, "nope")),
+                             &pulled)
+                  .IsPermissionDenied());
+  // A node with no replication_token keeps the surface off entirely.
+  ServiceFrontend plain;
+  EXPECT_TRUE(
+      DecodeResponse(plain.Dispatch(EncodeRequest(ApiMethod::kReplPull, "",
+                                                  pull, 3, kPeerToken)),
+                     &pulled)
+          .IsPermissionDenied());
+}
+
+// ---------------------------------------------------------------------
+// Promote / demote
+// ---------------------------------------------------------------------
+
+TEST(ReplicationTest, PromoteSealsTailAndAcceptsWritesWithZeroAckedLoss) {
+  Pair pair;
+  ASSERT_TRUE(CreateReplTopic(*pair.primary, "acme", "events").ok());
+  // Every one of these 120 records was ACKED under wal_group_commit.
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "events", 120).ok());
+
+  auto repl = std::make_unique<Replicator>(pair.follower.get(),
+                                           pair.MakeReplicatorConfig());
+  ASSERT_TRUE(repl->WaitCaughtUp(10'000).ok());
+  repl.reset();  // the primary "dies": no more pulls
+
+  // Promote over the wire with the peer token.
+  PromoteRequest promote;
+  PromoteResponse promoted;
+  ASSERT_TRUE(
+      DecodeResponse(pair.follower->Dispatch(EncodeRequest(
+                         ApiMethod::kPromote, "", promote, 1, kPeerToken)),
+                     &promoted)
+          .ok());
+  EXPECT_GE(promoted.sealed_topics, 1u);
+  EXPECT_FALSE(pair.follower->is_follower());
+
+  // Zero acked loss: every primary-acked record survived the failover.
+  EXPECT_EQ(QueryTotal(*pair.follower, "acme", "events"), 120u);
+
+  // The promoted node accepts writes and reports primary role + zero lag.
+  ASSERT_TRUE(IngestN(*pair.follower, "acme", "events", 5, 120).ok());
+  EXPECT_EQ(QueryTotal(*pair.follower, "acme", "events"), 125u);
+  GetStatsRequest stats_req;
+  stats_req.topic = "events";
+  GetStatsResponse stats;
+  ASSERT_TRUE(pair.follower->GetStats("acme", stats_req, &stats).ok());
+  EXPECT_EQ(stats.stats.replica_role, 0u);
+  EXPECT_EQ(stats.stats.replication_lag_bytes, 0u);
+  EXPECT_EQ(stats.stats.replication_lag_records, 0u);
+
+  // A second promote is an idempotent no-op.
+  PromoteResponse again;
+  ASSERT_TRUE(
+      DecodeResponse(pair.follower->Dispatch(EncodeRequest(
+                         ApiMethod::kPromote, "", promote, 2, kPeerToken)),
+                     &again)
+          .ok());
+  EXPECT_EQ(again.sealed_topics, 0u);
+
+  // Demote flips it back to read-only.
+  api::DemoteRequest demote;
+  api::DemoteResponse demoted;
+  ASSERT_TRUE(
+      DecodeResponse(pair.follower->Dispatch(EncodeRequest(
+                         ApiMethod::kDemote, "", demote, 3, kPeerToken)),
+                     &demoted)
+          .ok());
+  EXPECT_TRUE(pair.follower->is_follower());
+  EXPECT_TRUE(IngestN(*pair.follower, "acme", "events", 1).IsUnavailable());
+}
+
+TEST(ReplicationTest, RoleChangeHookFires) {
+  FrontendConfig config;
+  config.start_as_follower = true;
+  config.replication_token = kPeerToken;
+  ServiceFrontend node(config);
+  std::vector<bool> transitions;
+  node.SetRoleChangeHook([&](bool is_follower) {
+    transitions.push_back(is_follower);
+  });
+  ASSERT_TRUE(node.Promote(nullptr).ok());
+  ASSERT_TRUE(node.Promote(nullptr).ok());  // idempotent: no second event
+  ASSERT_TRUE(node.Demote(nullptr).ok());
+  EXPECT_EQ(transitions, (std::vector<bool>{false, true}));
+}
+
+// ---------------------------------------------------------------------
+// Lag visibility
+// ---------------------------------------------------------------------
+
+TEST(ReplicationTest, LagVisibleThroughWireGetStatsBeforeAndAfterCatchUp) {
+  Pair pair;
+  ASSERT_TRUE(CreateReplTopic(*pair.primary, "acme", "events").ok());
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "events", 100).ok());
+
+  // A transport budget cuts the link after a handful of pulls, so the
+  // first pass makes partial progress and then fails.
+  ReplicatorConfig config = pair.MakeReplicatorConfig();
+  config.max_bytes_per_pull = 256;  // a few frames per pull
+  std::atomic<int> budget{8};
+  auto real_transport = config.transport;
+  config.transport = [&, real_transport](std::string_view bytes) {
+    if (budget.fetch_sub(1) <= 0) {
+      return Result<std::string>(Status::IOError("link down"));
+    }
+    return real_transport(bytes);
+  };
+  Replicator repl(pair.follower.get(), config);
+  EXPECT_FALSE(repl.RunOnce().ok());
+  EXPECT_FALSE(repl.caught_up());
+
+  // Mid-catch-up: the wire stats report a positive lag.
+  GetStatsRequest stats_req;
+  stats_req.topic = "events";
+  GetStatsResponse mid;
+  ASSERT_TRUE(DecodeResponse(pair.follower->Dispatch(EncodeRequest(
+                                 ApiMethod::kGetStats, "acme", stats_req)),
+                             &mid)
+                  .ok());
+  EXPECT_GT(mid.stats.replication_lag_records, 0u);
+  EXPECT_GT(mid.stats.replication_lag_bytes, 0u);
+  EXPECT_EQ(mid.stats.replica_role, 1u);
+
+  // Link restored: catch up and the lag drains to zero.
+  budget.store(1 << 30);
+  ASSERT_TRUE(repl.WaitCaughtUp(10'000).ok());
+  GetStatsResponse after;
+  ASSERT_TRUE(DecodeResponse(pair.follower->Dispatch(EncodeRequest(
+                                 ApiMethod::kGetStats, "acme", stats_req)),
+                             &after)
+                  .ok());
+  EXPECT_EQ(after.stats.replication_lag_records, 0u);
+  EXPECT_EQ(after.stats.replication_lag_bytes, 0u);
+  EXPECT_EQ(after.stats.replication_lag_segments, 0u);
+  EXPECT_EQ(QueryTotal(*pair.follower, "acme", "events"), 100u);
+}
+
+// ---------------------------------------------------------------------
+// Resumability
+// ---------------------------------------------------------------------
+
+TEST(ReplicationTest, ReplicatorRestartResumesFromLocalPosition) {
+  Pair pair;
+  ASSERT_TRUE(CreateReplTopic(*pair.primary, "acme", "events").ok());
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "events", 80).ok());
+
+  {
+    Replicator first(pair.follower.get(), pair.MakeReplicatorConfig());
+    ASSERT_TRUE(first.WaitCaughtUp(10'000).ok());
+    EXPECT_EQ(first.stats().applied_records, 80u);
+  }
+
+  // The follower NODE restarts: a fresh frontend over the same storage
+  // root, and a fresh replicator with no in-memory cursor.
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "events", 25, 80).ok());
+  FrontendConfig fconfig;
+  fconfig.start_as_follower = true;
+  fconfig.replication_token = kPeerToken;
+  auto rebooted = std::make_unique<ServiceFrontend>(fconfig);
+  ReplicatorConfig config = pair.MakeReplicatorConfig();
+  Replicator second(rebooted.get(), config);
+  ASSERT_TRUE(second.WaitCaughtUp(10'000).ok());
+
+  EXPECT_EQ(QueryTotal(*rebooted, "acme", "events"), 105u);
+  // Only the delta shipped: the cursor resumed from what local storage
+  // recovered, it did not re-pull the first 80 records.
+  EXPECT_LE(second.stats().applied_records, 30u);
+  ExpectSegmentsByteIdentical(pair.PrimaryTopicDir("acme", "events"),
+                              pair.FollowerTopicDir("acme", "events"));
+}
+
+// ---------------------------------------------------------------------
+// Fault matrix
+// ---------------------------------------------------------------------
+
+/// Runs one follower lifetime (one sync pass) against `pair`'s primary
+/// with the given file-ops shim. Returns OK only when the pass caught
+/// up cleanly; a crashed shim surfaces its storage error here without
+/// any retry loop.
+Status RunFollowerOnce(Pair& pair, FileOps* ops) {
+  FrontendConfig fconfig;
+  fconfig.start_as_follower = true;
+  fconfig.replication_token = kPeerToken;
+  ServiceFrontend follower(fconfig);
+  ReplicatorConfig config = pair.MakeReplicatorConfig();
+  config.storage_config_hook = [ops](StorageConfig* storage) {
+    storage->file_ops = ops;
+  };
+  Replicator repl(&follower, config);
+  Status s = repl.RunOnce();
+  if (s.ok() && !repl.caught_up()) s = Status::Aborted("not caught up");
+  return s;
+}
+
+TEST(ReplicationFaultTest, FollowerCrashAtEveryOpConvergesByteIdentical) {
+  Pair pair;
+  ASSERT_TRUE(CreateReplTopic(*pair.primary, "acme", "events").ok());
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "events", 36).ok());
+  const uint64_t primary_total = QueryTotal(*pair.primary, "acme", "events");
+  ASSERT_EQ(primary_total, 36u);
+
+  // Calibration pass: a clean follower sync, counting its storage ops.
+  uint64_t total_ops = 0;
+  {
+    FaultInjectingFileOps clean;
+    ASSERT_TRUE(RunFollowerOnce(pair, &clean).ok());
+    total_ops = clean.ops_seen();
+  }
+  ASSERT_GT(total_ops, 0u);
+
+  // Kill the follower at EVERY op index; after each crash a rebooted
+  // follower over the same directory must reconverge byte-identical
+  // with no acked record lost and none duplicated.
+  for (uint64_t k = 1; k <= total_ops; ++k) {
+    std::filesystem::remove_all(pair.follower_root.path());
+    std::filesystem::create_directories(pair.follower_root.path());
+    {
+      FaultSchedule schedule;
+      schedule.crash_at_op = k;
+      FaultInjectingFileOps dying(schedule);
+      // The crashed lifetime may or may not surface an error (a crash
+      // after the last op of the pass converges anyway).
+      (void)RunFollowerOnce(pair, &dying);
+    }
+    {
+      FaultInjectingFileOps healthy;
+      FrontendConfig fconfig;
+      fconfig.start_as_follower = true;
+      fconfig.replication_token = kPeerToken;
+      ServiceFrontend rebooted(fconfig);
+      ReplicatorConfig config = pair.MakeReplicatorConfig();
+      config.storage_config_hook = [&healthy](StorageConfig* storage) {
+        storage->file_ops = &healthy;
+      };
+      Replicator repl(&rebooted, config);
+      ASSERT_TRUE(repl.WaitCaughtUp(10'000).ok()) << "crash at op " << k;
+      ASSERT_EQ(QueryTotal(rebooted, "acme", "events"), primary_total)
+          << "crash at op " << k;
+      ExpectSegmentsByteIdentical(pair.PrimaryTopicDir("acme", "events"),
+                                  pair.FollowerTopicDir("acme", "events"));
+    }
+  }
+}
+
+TEST(ReplicationFaultTest, LinkDropMidSegmentResumesWithoutDuplicates) {
+  Pair pair;
+  ASSERT_TRUE(CreateReplTopic(*pair.primary, "acme", "events").ok());
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "events", 60).ok());
+
+  // Calibration: how many pulls does a clean catch-up take at this
+  // chunk size?
+  uint64_t total_calls = 0;
+  {
+    TempDir scratch;
+    FrontendConfig fconfig;
+    fconfig.start_as_follower = true;
+    ServiceFrontend follower(fconfig);
+    ReplicatorConfig config = pair.MakeReplicatorConfig();
+    config.storage_root = scratch.path();
+    config.max_bytes_per_pull = 256;
+    std::atomic<uint64_t> calls{0};
+    auto real = config.transport;
+    config.transport = [&, real](std::string_view bytes) {
+      calls.fetch_add(1);
+      return real(bytes);
+    };
+    Replicator repl(&follower, config);
+    ASSERT_TRUE(repl.WaitCaughtUp(10'000).ok());
+    total_calls = calls.load();
+  }
+  ASSERT_GT(total_calls, 4u);
+
+  // Drop the link at every call index — including mid-segment — and let
+  // the same replicator retry: the {segment, offset} cursor must resume
+  // exactly, with no record lost or applied twice.
+  for (uint64_t k = 1; k <= total_calls; ++k) {
+    std::filesystem::remove_all(pair.follower_root.path());
+    std::filesystem::create_directories(pair.follower_root.path());
+    FrontendConfig fconfig;
+    fconfig.start_as_follower = true;
+    fconfig.replication_token = kPeerToken;
+    ServiceFrontend follower(fconfig);
+    ReplicatorConfig config = pair.MakeReplicatorConfig();
+    config.max_bytes_per_pull = 256;
+    std::atomic<uint64_t> calls{0};
+    std::atomic<bool> dropped{false};
+    auto real = config.transport;
+    config.transport = [&, real](std::string_view bytes) {
+      if (calls.fetch_add(1) + 1 == k && !dropped.exchange(true)) {
+        return Result<std::string>(Status::IOError("link reset"));
+      }
+      return real(bytes);
+    };
+    Replicator repl(&follower, config);
+    const Status first = repl.RunOnce();
+    if (!first.ok()) {
+      ASSERT_TRUE(repl.WaitCaughtUp(10'000).ok()) << "link drop at call " << k;
+    } else {
+      ASSERT_TRUE(repl.caught_up());
+    }
+    ASSERT_EQ(QueryTotal(follower, "acme", "events"), 60u)
+        << "link drop at call " << k;
+    ExpectSegmentsByteIdentical(pair.PrimaryTopicDir("acme", "events"),
+                                pair.FollowerTopicDir("acme", "events"));
+  }
+}
+
+TEST(ReplicationFaultTest, DivergentFollowerResyncsFromScratch) {
+  Pair pair;
+  ASSERT_TRUE(CreateReplTopic(*pair.primary, "acme", "events").ok());
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "events", 40).ok());
+
+  Replicator repl(pair.follower.get(), pair.MakeReplicatorConfig());
+  ASSERT_TRUE(repl.WaitCaughtUp(10'000).ok());
+
+  // The primary is rebuilt from scratch (shorter history): the
+  // follower's cursor now points past the primary's tail — a
+  // divergence. The follower must drop its copy and re-sync.
+  api::DeleteTopicRequest drop;
+  drop.name = "events";
+  api::DeleteTopicResponse dropped;
+  ASSERT_TRUE(pair.primary->DeleteTopic("acme", drop, &dropped).ok());
+  ASSERT_TRUE(CreateReplTopic(*pair.primary, "acme", "events").ok());
+  ASSERT_TRUE(IngestN(*pair.primary, "acme", "events", 12).ok());
+
+  ASSERT_TRUE(repl.WaitCaughtUp(10'000).ok());
+  EXPECT_EQ(QueryTotal(*pair.follower, "acme", "events"), 12u);
+  EXPECT_GE(repl.stats().divergences, 1u);
+}
+
+}  // namespace
+}  // namespace bytebrain
